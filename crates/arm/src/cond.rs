@@ -1,0 +1,162 @@
+//! ARM condition codes.
+
+use std::fmt;
+
+/// The 4-bit condition field present on (almost) every ARM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (Z set).
+    Eq = 0x0,
+    /// Not equal (Z clear).
+    Ne = 0x1,
+    /// Carry set / unsigned higher or same.
+    Cs = 0x2,
+    /// Carry clear / unsigned lower.
+    Cc = 0x3,
+    /// Minus / negative (N set).
+    Mi = 0x4,
+    /// Plus / positive or zero (N clear).
+    Pl = 0x5,
+    /// Overflow (V set).
+    Vs = 0x6,
+    /// No overflow (V clear).
+    Vc = 0x7,
+    /// Unsigned higher (C set and Z clear).
+    Hi = 0x8,
+    /// Unsigned lower or same (C clear or Z set).
+    Ls = 0x9,
+    /// Signed greater than or equal (N == V).
+    Ge = 0xA,
+    /// Signed less than (N != V).
+    Lt = 0xB,
+    /// Signed greater than (Z clear and N == V).
+    Gt = 0xC,
+    /// Signed less than or equal (Z set or N != V).
+    Le = 0xD,
+    /// Always.
+    Al = 0xE,
+}
+
+impl Cond {
+    /// Decodes a 4-bit condition field.
+    ///
+    /// The `0b1111` encoding (unconditional space) is mapped to [`Cond::Al`];
+    /// the decoder handles that space separately.
+    pub fn from_bits(bits: u32) -> Cond {
+        match bits & 0xF {
+            0x0 => Cond::Eq,
+            0x1 => Cond::Ne,
+            0x2 => Cond::Cs,
+            0x3 => Cond::Cc,
+            0x4 => Cond::Mi,
+            0x5 => Cond::Pl,
+            0x6 => Cond::Vs,
+            0x7 => Cond::Vc,
+            0x8 => Cond::Hi,
+            0x9 => Cond::Ls,
+            0xA => Cond::Ge,
+            0xB => Cond::Lt,
+            0xC => Cond::Gt,
+            0xD => Cond::Le,
+            _ => Cond::Al,
+        }
+    }
+
+    /// The 4-bit encoding of this condition.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Evaluates the condition against the given CPSR flags.
+    pub fn passes(self, n: bool, z: bool, c: bool, v: bool) -> bool {
+        match self {
+            Cond::Eq => z,
+            Cond::Ne => !z,
+            Cond::Cs => c,
+            Cond::Cc => !c,
+            Cond::Mi => n,
+            Cond::Pl => !n,
+            Cond::Vs => v,
+            Cond::Vc => !v,
+            Cond::Hi => c && !z,
+            Cond::Ls => !c || z,
+            Cond::Ge => n == v,
+            Cond::Lt => n != v,
+            Cond::Gt => !z && n == v,
+            Cond::Le => z || n != v,
+            Cond::Al => true,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+            Cond::Al => "",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for bits in 0..15u32 {
+            assert_eq!(Cond::from_bits(bits).bits(), bits);
+        }
+    }
+
+    #[test]
+    fn flag_semantics() {
+        // (n, z, c, v)
+        assert!(Cond::Eq.passes(false, true, false, false));
+        assert!(!Cond::Eq.passes(false, false, false, false));
+        assert!(Cond::Ne.passes(false, false, false, false));
+        assert!(Cond::Hi.passes(false, false, true, false));
+        assert!(!Cond::Hi.passes(false, true, true, false));
+        assert!(Cond::Ls.passes(false, true, true, false));
+        assert!(Cond::Ge.passes(true, false, false, true));
+        assert!(Cond::Lt.passes(true, false, false, false));
+        assert!(Cond::Gt.passes(false, false, false, false));
+        assert!(!Cond::Gt.passes(false, true, false, false));
+        assert!(Cond::Le.passes(false, true, false, false));
+        assert!(Cond::Al.passes(false, false, false, false));
+    }
+
+    #[test]
+    fn signed_comparison_table() {
+        // After CMP a, b: N != V  <=>  a < b (signed). Spot-check the table.
+        let cases = [(1i32, 2i32), (-1, 1), (5, 5), (7, -3), (i32::MIN, 1)];
+        for (a, b) in cases {
+            let (res, overflow) = a.overflowing_sub(b);
+            let n = res < 0;
+            let z = res == 0;
+            let v = overflow;
+            let c = (a as u32) >= (b as u32); // borrow-free
+            assert_eq!(Cond::Lt.passes(n, z, c, v), a < b, "lt {a} {b}");
+            assert_eq!(Cond::Ge.passes(n, z, c, v), a >= b, "ge {a} {b}");
+            assert_eq!(Cond::Gt.passes(n, z, c, v), a > b, "gt {a} {b}");
+            assert_eq!(Cond::Le.passes(n, z, c, v), a <= b, "le {a} {b}");
+            assert_eq!(Cond::Eq.passes(n, z, c, v), a == b, "eq {a} {b}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! ARM CPU architectural state.
+
+use crate::reg::Reg;
+
+/// Architectural state of one ARM core: sixteen core registers, the
+/// CPSR condition flags, the Thumb execution-state bit, and 32
+/// single-precision VFP registers (aliased in pairs as 16 doubles).
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// Core registers R0–R15. `regs[15]` is the PC.
+    pub regs: [u32; 16],
+    /// Negative flag.
+    pub n: bool,
+    /// Zero flag.
+    pub z: bool,
+    /// Carry flag.
+    pub c: bool,
+    /// Overflow flag.
+    pub v: bool,
+    /// Thumb execution state.
+    pub thumb: bool,
+    /// VFP single-precision registers S0–S31 (D0–D15 alias pairs).
+    pub vfp: [u32; 32],
+    /// Instructions retired since construction.
+    pub insn_count: u64,
+}
+
+impl Default for Cpu {
+    fn default() -> Cpu {
+        Cpu::new()
+    }
+}
+
+impl Cpu {
+    /// A CPU with all registers zero, flags clear, in ARM state.
+    pub fn new() -> Cpu {
+        Cpu {
+            regs: [0; 16],
+            n: false,
+            z: false,
+            c: false,
+            v: false,
+            thumb: false,
+            vfp: [0; 32],
+            insn_count: 0,
+        }
+    }
+
+    /// The current program counter.
+    #[inline]
+    pub fn pc(&self) -> u32 {
+        self.regs[15]
+    }
+
+    /// Sets the program counter. Bit 0 selects Thumb state, as with `BX`.
+    #[inline]
+    pub fn set_pc(&mut self, value: u32) {
+        if value & 1 != 0 {
+            self.thumb = true;
+            self.regs[15] = value & !1;
+        } else {
+            self.regs[15] = value & !1;
+        }
+    }
+
+    /// Reads a core register. Reads of PC return the architecturally
+    /// visible value: current instruction address + 8 in ARM state,
+    /// + 4 in Thumb state.
+    #[inline]
+    pub fn read(&self, r: Reg) -> u32 {
+        if r == Reg::PC {
+            self.regs[15].wrapping_add(if self.thumb { 4 } else { 8 })
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes a core register. Writes to PC are treated as a branch
+    /// (bit 0 selects Thumb state).
+    #[inline]
+    pub fn write(&mut self, r: Reg, value: u32) {
+        if r == Reg::PC {
+            self.set_pc(value);
+        } else {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// The stack pointer.
+    #[inline]
+    pub fn sp(&self) -> u32 {
+        self.regs[13]
+    }
+
+    /// The link register.
+    #[inline]
+    pub fn lr(&self) -> u32 {
+        self.regs[14]
+    }
+
+    /// Reads a single-precision VFP register as `f32`.
+    #[inline]
+    pub fn read_s(&self, i: u8) -> f32 {
+        f32::from_bits(self.vfp[(i & 31) as usize])
+    }
+
+    /// Writes a single-precision VFP register.
+    #[inline]
+    pub fn write_s(&mut self, i: u8, value: f32) {
+        self.vfp[(i & 31) as usize] = value.to_bits();
+    }
+
+    /// Reads a double-precision VFP register (D`i` = S`2i+1`:S`2i`).
+    #[inline]
+    pub fn read_d(&self, i: u8) -> f64 {
+        let lo = self.vfp[((i & 15) * 2) as usize] as u64;
+        let hi = self.vfp[((i & 15) * 2 + 1) as usize] as u64;
+        f64::from_bits(lo | (hi << 32))
+    }
+
+    /// Writes a double-precision VFP register.
+    #[inline]
+    pub fn write_d(&mut self, i: u8, value: f64) {
+        let bits = value.to_bits();
+        self.vfp[((i & 15) * 2) as usize] = bits as u32;
+        self.vfp[((i & 15) * 2 + 1) as usize] = (bits >> 32) as u32;
+    }
+
+    /// Evaluates whether a condition passes under the current flags.
+    #[inline]
+    pub fn cond_passes(&self, cond: crate::cond::Cond) -> bool {
+        cond.passes(self.n, self.z, self.c, self.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+
+    #[test]
+    fn pc_reads_ahead() {
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0x1000);
+        assert_eq!(cpu.read(Reg::PC), 0x1008);
+        cpu.thumb = true;
+        assert_eq!(cpu.read(Reg::PC), 0x1004);
+    }
+
+    #[test]
+    fn pc_write_selects_thumb() {
+        let mut cpu = Cpu::new();
+        cpu.write(Reg::PC, 0x2001);
+        assert!(cpu.thumb);
+        assert_eq!(cpu.pc(), 0x2000);
+        // Writing an even address does NOT clear Thumb state (only BX-style
+        // interworking in the executor does); set_pc with bit0=0 keeps mode.
+        cpu.thumb = false;
+        cpu.write(Reg::PC, 0x3000);
+        assert!(!cpu.thumb);
+    }
+
+    #[test]
+    fn vfp_single_double_aliasing() {
+        let mut cpu = Cpu::new();
+        cpu.write_d(1, 1.5f64);
+        let bits = 1.5f64.to_bits();
+        assert_eq!(cpu.vfp[2], bits as u32);
+        assert_eq!(cpu.vfp[3], (bits >> 32) as u32);
+        assert_eq!(cpu.read_d(1), 1.5);
+        cpu.write_s(0, 2.25);
+        assert_eq!(cpu.read_s(0), 2.25);
+    }
+
+    #[test]
+    fn cond_uses_cpu_flags() {
+        let mut cpu = Cpu::new();
+        cpu.z = true;
+        assert!(cpu.cond_passes(Cond::Eq));
+        assert!(!cpu.cond_passes(Cond::Ne));
+    }
+
+    #[test]
+    fn general_register_rw() {
+        let mut cpu = Cpu::new();
+        for r in Reg::ALL.into_iter().take(15) {
+            cpu.write(r, 0x100 + r.index() as u32);
+        }
+        for r in Reg::ALL.into_iter().take(15) {
+            assert_eq!(cpu.read(r), 0x100 + r.index() as u32);
+        }
+        assert_eq!(cpu.sp(), 0x10D);
+        assert_eq!(cpu.lr(), 0x10E);
+    }
+}

@@ -1,0 +1,542 @@
+//! ARM (A32) instruction decoding.
+//!
+//! The decoder recognizes exactly the instruction subset NDroid's
+//! instruction tracer handles (plus the VFP subset used by the CF-Bench
+//! kernels) and returns [`ArmError::UndefinedInstruction`] for anything
+//! else, so unexpected guest code is surfaced rather than silently
+//! misinterpreted.
+
+use crate::cond::Cond;
+use crate::error::ArmError;
+use crate::insn::{AddrMode4, DpOp, Instr, MemOffset, MemSize, Op2, ShiftKind, VfpOp, VfpPrec};
+use crate::reg::{Reg, RegList};
+
+/// Decodes one 32-bit ARM instruction word fetched from `addr`.
+///
+/// # Errors
+///
+/// [`ArmError::UndefinedInstruction`] if the word is not in the
+/// supported subset (including the entire `cond == 0b1111`
+/// unconditional space).
+pub fn decode_arm(word: u32, addr: u32) -> Result<Instr, ArmError> {
+    let cond_bits = word >> 28;
+    if cond_bits == 0xF {
+        return Err(ArmError::UndefinedInstruction { addr, word });
+    }
+    let cond = Cond::from_bits(cond_bits);
+    let undef = || ArmError::UndefinedInstruction { addr, word };
+
+    match (word >> 25) & 0b111 {
+        0b000 => {
+            // BX / BLX (register)
+            if word & 0x0FFF_FFF0 == 0x012F_FF10 {
+                return Ok(Instr::BranchExchange {
+                    cond,
+                    link: false,
+                    rm: Reg::from_bits(word & 0xF),
+                });
+            }
+            if word & 0x0FFF_FFF0 == 0x012F_FF30 {
+                return Ok(Instr::BranchExchange {
+                    cond,
+                    link: true,
+                    rm: Reg::from_bits(word & 0xF),
+                });
+            }
+            // Multiply: bits 7:4 == 1001 and bits 24:22 == 000.
+            if word & 0x0FC0_00F0 == 0x0000_0090 {
+                let a = word & (1 << 21) != 0;
+                let rn = Reg::from_bits((word >> 12) & 0xF);
+                return Ok(Instr::Mul {
+                    cond,
+                    s: word & (1 << 20) != 0,
+                    rd: Reg::from_bits((word >> 16) & 0xF),
+                    rm: Reg::from_bits(word & 0xF),
+                    rs: Reg::from_bits((word >> 8) & 0xF),
+                    acc: if a { Some(rn) } else { None },
+                });
+            }
+            // Halfword / signed transfers: bit7 == 1, bit4 == 1, SH != 00.
+            if word & 0x0000_0090 == 0x0000_0090 && (word >> 5) & 0b11 != 0 {
+                return decode_halfword(word, cond, addr);
+            }
+            // Data-processing, register operand.
+            if word & (1 << 4) == 0 {
+                decode_dp(word, cond, false, addr)
+            } else if word & (1 << 7) == 0 {
+                decode_dp(word, cond, true, addr)
+            } else {
+                Err(undef())
+            }
+        }
+        0b001 => decode_dp_imm(word, cond, addr),
+        0b010 => decode_single(word, cond, MemOffset::Imm((word & 0xFFF) as u16)),
+        0b011 => {
+            if word & (1 << 4) != 0 {
+                return Err(undef());
+            }
+            decode_single(
+                word,
+                cond,
+                MemOffset::Reg {
+                    rm: Reg::from_bits(word & 0xF),
+                    kind: ShiftKind::from_bits((word >> 5) & 0b11),
+                    amount: ((word >> 7) & 0x1F) as u8,
+                },
+            )
+        }
+        0b100 => {
+            let p = word & (1 << 24) != 0;
+            let u = word & (1 << 23) != 0;
+            Ok(Instr::MemMulti {
+                cond,
+                load: word & (1 << 20) != 0,
+                rn: Reg::from_bits((word >> 16) & 0xF),
+                mode: AddrMode4::from_pu(p, u),
+                writeback: word & (1 << 21) != 0,
+                regs: RegList((word & 0xFFFF) as u16),
+            })
+        }
+        0b101 => {
+            let mut words = (word & 0x00FF_FFFF) as i32;
+            if words & 0x0080_0000 != 0 {
+                words |= !0x00FF_FFFF; // sign extend 24-bit field
+            }
+            Ok(Instr::Branch {
+                cond,
+                link: word & (1 << 24) != 0,
+                offset: words * 4,
+            })
+        }
+        0b110 => {
+            // VLDR/VSTR: bits 27:24 == 1101, bits 11:9 == 101.
+            if (word >> 24) & 0xF == 0b1101 && (word >> 9) & 0b111 == 0b101 {
+                if word & (1 << 21) != 0 {
+                    return Err(undef()); // writeback form unsupported
+                }
+                let prec = if word & (1 << 8) != 0 {
+                    VfpPrec::F64
+                } else {
+                    VfpPrec::F32
+                };
+                let fd = join_vreg((word >> 12) & 0xF, (word >> 22) & 1, prec);
+                return Ok(Instr::VfpMem {
+                    cond,
+                    load: word & (1 << 20) != 0,
+                    prec,
+                    fd,
+                    rn: Reg::from_bits((word >> 16) & 0xF),
+                    offset: ((word & 0xFF) * 4) as u16,
+                    up: word & (1 << 23) != 0,
+                });
+            }
+            Err(undef())
+        }
+        0b111 => {
+            if (word >> 24) & 0xF == 0b1111 {
+                return Ok(Instr::Svc {
+                    cond,
+                    imm: word & 0x00FF_FFFF,
+                });
+            }
+            // VMRS APSR_nzcv, FPSCR (exact pattern, bit 4 set).
+            if word & 0x0FFF_FFFF == 0x0EF1_FA10 {
+                return Ok(Instr::VfpMrs { cond });
+            }
+            // VFP data processing: bits 27:24 == 1110, 11:9 == 101, bit4 == 0.
+            if (word >> 24) & 0xF == 0b1110 && (word >> 9) & 0b111 == 0b101 && word & (1 << 4) == 0
+            {
+                return decode_vfp_dp(word, cond, addr);
+            }
+            Err(undef())
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn decode_dp(word: u32, cond: Cond, shift_by_reg: bool, addr: u32) -> Result<Instr, ArmError> {
+    let op = DpOp::from_bits((word >> 21) & 0xF);
+    let s = word & (1 << 20) != 0;
+    if op.is_compare() && !s {
+        // MRS/MSR etc. live in this hole; unsupported.
+        return Err(ArmError::UndefinedInstruction { addr, word });
+    }
+    let rm = Reg::from_bits(word & 0xF);
+    let kind = ShiftKind::from_bits((word >> 5) & 0b11);
+    let op2 = if shift_by_reg {
+        Op2::RegShiftReg {
+            rm,
+            kind,
+            rs: Reg::from_bits((word >> 8) & 0xF),
+        }
+    } else {
+        Op2::RegShiftImm {
+            rm,
+            kind,
+            amount: ((word >> 7) & 0x1F) as u8,
+        }
+    };
+    Ok(Instr::Dp {
+        cond,
+        op,
+        s,
+        rd: Reg::from_bits((word >> 12) & 0xF),
+        rn: Reg::from_bits((word >> 16) & 0xF),
+        op2,
+    })
+}
+
+fn decode_dp_imm(word: u32, cond: Cond, addr: u32) -> Result<Instr, ArmError> {
+    let op = DpOp::from_bits((word >> 21) & 0xF);
+    let s = word & (1 << 20) != 0;
+    if op.is_compare() && !s {
+        return Err(ArmError::UndefinedInstruction { addr, word });
+    }
+    Ok(Instr::Dp {
+        cond,
+        op,
+        s,
+        rd: Reg::from_bits((word >> 12) & 0xF),
+        rn: Reg::from_bits((word >> 16) & 0xF),
+        op2: Op2::Imm {
+            imm8: (word & 0xFF) as u8,
+            rot4: ((word >> 8) & 0xF) as u8,
+        },
+    })
+}
+
+fn decode_single(word: u32, cond: Cond, offset: MemOffset) -> Result<Instr, ArmError> {
+    let size = if word & (1 << 22) != 0 {
+        MemSize::Byte
+    } else {
+        MemSize::Word
+    };
+    Ok(Instr::Mem {
+        cond,
+        load: word & (1 << 20) != 0,
+        size,
+        rd: Reg::from_bits((word >> 12) & 0xF),
+        rn: Reg::from_bits((word >> 16) & 0xF),
+        offset,
+        pre: word & (1 << 24) != 0,
+        up: word & (1 << 23) != 0,
+        writeback: word & (1 << 21) != 0,
+    })
+}
+
+fn decode_halfword(word: u32, cond: Cond, addr: u32) -> Result<Instr, ArmError> {
+    let load = word & (1 << 20) != 0;
+    let sh = (word >> 5) & 0b11;
+    let size = match (load, sh) {
+        (true, 0b01) | (false, 0b01) => MemSize::Half,
+        (true, 0b10) => MemSize::SignedByte,
+        (true, 0b11) => MemSize::SignedHalf,
+        _ => return Err(ArmError::UndefinedInstruction { addr, word }), // LDRD/STRD
+    };
+    let offset = if word & (1 << 22) != 0 {
+        MemOffset::Imm((((word >> 8) & 0xF) << 4 | (word & 0xF)) as u16)
+    } else {
+        MemOffset::Reg {
+            rm: Reg::from_bits(word & 0xF),
+            kind: ShiftKind::Lsl,
+            amount: 0,
+        }
+    };
+    Ok(Instr::Mem {
+        cond,
+        load,
+        size,
+        rd: Reg::from_bits((word >> 12) & 0xF),
+        rn: Reg::from_bits((word >> 16) & 0xF),
+        offset,
+        pre: word & (1 << 24) != 0,
+        up: word & (1 << 23) != 0,
+        writeback: word & (1 << 21) != 0,
+    })
+}
+
+fn decode_vfp_dp(word: u32, cond: Cond, addr: u32) -> Result<Instr, ArmError> {
+    let prec = if word & (1 << 8) != 0 {
+        VfpPrec::F64
+    } else {
+        VfpPrec::F32
+    };
+    let d = (word >> 22) & 1;
+    let n = (word >> 7) & 1;
+    let m = (word >> 5) & 1;
+    let vd = (word >> 12) & 0xF;
+    let vn = (word >> 16) & 0xF;
+    let vm = word & 0xF;
+    let fd = join_vreg(vd, d, prec);
+    let fm = join_vreg(vm, m, prec);
+    let opc1 = (word >> 20) & 0xB; // bits 23 and 21:20
+    let op6 = (word >> 6) & 1;
+
+    // VMOV / VCMP share opc1 == 0b1011 with Vn selecting the operation.
+    if (word >> 23) & 1 == 1 && (word >> 20) & 0b11 == 0b11 {
+        let fn_sel = vn;
+        return match (fn_sel, op6) {
+            (0b0000, 1) => Ok(Instr::Vfp {
+                cond,
+                op: VfpOp::Mov,
+                prec,
+                fd,
+                fn_: 0,
+                fm,
+            }),
+            (0b0100, 1) => Ok(Instr::Vfp {
+                cond,
+                op: VfpOp::Cmp,
+                prec,
+                fd,
+                fn_: 0,
+                fm,
+            }),
+            _ => Err(ArmError::UndefinedInstruction { addr, word }),
+        };
+    }
+
+    let fn_ = join_vreg(vn, n, prec);
+    let op = match (opc1, op6) {
+        (0b0011, 0) => VfpOp::Add,
+        (0b0011, 1) => VfpOp::Sub,
+        (0b0010, 0) => VfpOp::Mul,
+        (0b1000, 0) => VfpOp::Div,
+        _ => return Err(ArmError::UndefinedInstruction { addr, word }),
+    };
+    Ok(Instr::Vfp {
+        cond,
+        op,
+        prec,
+        fd,
+        fn_,
+        fm,
+    })
+}
+
+/// Joins a 4-bit VFP register field with its extra bit.
+fn join_vreg(field: u32, extra: u32, prec: VfpPrec) -> u8 {
+    match prec {
+        VfpPrec::F32 => ((field << 1) | extra) as u8,
+        VfpPrec::F64 => ((extra << 4) | field) as u8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::insn::Op2;
+
+    #[test]
+    fn undefined_words_rejected() {
+        // cond == 0b1111 space.
+        assert!(decode_arm(0xF000_0000, 0).is_err());
+        // MRS (compare hole with S == 0).
+        assert!(decode_arm(0xE10F_0000, 0).is_err());
+        // LDRD (SH == 10, L == 0).
+        assert!(decode_arm(0xE1C0_00D0, 0).is_err());
+    }
+
+    #[test]
+    fn decode_known_words() {
+        // 0xE2810004 = add r0, r1, #4
+        match decode_arm(0xE281_0004, 0).unwrap() {
+            Instr::Dp { op: DpOp::Add, rd, rn, op2, s: false, .. } => {
+                assert_eq!(rd, Reg::R0);
+                assert_eq!(rn, Reg::R1);
+                match op2 {
+                    Op2::Imm { imm8, rot4 } => assert_eq!(Op2::imm_value(imm8, rot4), 4),
+                    _ => panic!("expected imm"),
+                }
+            }
+            other => panic!("bad decode: {other:?}"),
+        }
+        // 0xE12FFF1E = bx lr
+        assert_eq!(
+            decode_arm(0xE12F_FF1E, 0).unwrap(),
+            Instr::BranchExchange {
+                cond: Cond::Al,
+                link: false,
+                rm: Reg::LR
+            }
+        );
+        // 0xEB000000 = bl .+0 (to pc+8)
+        assert_eq!(
+            decode_arm(0xEB00_0000, 0).unwrap(),
+            Instr::Branch {
+                cond: Cond::Al,
+                link: true,
+                offset: 0
+            }
+        );
+        // 0xEAFFFFFE = b . (offset -8)
+        assert_eq!(
+            decode_arm(0xEAFF_FFFE, 0).unwrap(),
+            Instr::Branch {
+                cond: Cond::Al,
+                link: false,
+                offset: -8
+            }
+        );
+    }
+
+    /// Every encodable instruction must decode back to itself.
+    #[test]
+    fn roundtrip_exhaustive_sample() {
+        use crate::insn::{AddrMode4, MemSize, VfpOp, VfpPrec};
+        use crate::reg::RegList;
+        let mut cases: Vec<Instr> = Vec::new();
+        for op in [
+            DpOp::And, DpOp::Eor, DpOp::Sub, DpOp::Rsb, DpOp::Add, DpOp::Adc, DpOp::Sbc,
+            DpOp::Rsc, DpOp::Tst, DpOp::Teq, DpOp::Cmp, DpOp::Cmn, DpOp::Orr, DpOp::Mov,
+            DpOp::Bic, DpOp::Mvn,
+        ] {
+            cases.push(Instr::Dp {
+                cond: Cond::Ne,
+                op,
+                s: op.is_compare(),
+                rd: if op.is_compare() { Reg::R0 } else { Reg::R3 },
+                rn: if op.uses_rn() { Reg::R5 } else { Reg::R0 },
+                op2: Op2::Imm { imm8: 0x7F, rot4: 3 },
+            });
+            cases.push(Instr::Dp {
+                cond: Cond::Al,
+                op,
+                s: true,
+                rd: if op.is_compare() { Reg::R0 } else { Reg::R1 },
+                rn: if op.uses_rn() { Reg::R2 } else { Reg::R0 },
+                op2: Op2::RegShiftImm {
+                    rm: Reg::R4,
+                    kind: ShiftKind::Asr,
+                    amount: 7,
+                },
+            });
+            cases.push(Instr::Dp {
+                cond: Cond::Al,
+                op,
+                s: true,
+                rd: if op.is_compare() { Reg::R0 } else { Reg::R1 },
+                rn: if op.uses_rn() { Reg::R2 } else { Reg::R0 },
+                op2: Op2::RegShiftReg {
+                    rm: Reg::R4,
+                    kind: ShiftKind::Ror,
+                    rs: Reg::R6,
+                },
+            });
+        }
+        for (size, load) in [
+            (MemSize::Word, true),
+            (MemSize::Word, false),
+            (MemSize::Byte, true),
+            (MemSize::Byte, false),
+            (MemSize::Half, true),
+            (MemSize::Half, false),
+            (MemSize::SignedByte, true),
+            (MemSize::SignedHalf, true),
+        ] {
+            cases.push(Instr::Mem {
+                cond: Cond::Al,
+                load,
+                size,
+                rd: Reg::R1,
+                rn: Reg::R2,
+                offset: MemOffset::Imm(0xF0),
+                pre: true,
+                up: false,
+                writeback: true,
+            });
+            cases.push(Instr::Mem {
+                cond: Cond::Gt,
+                load,
+                size,
+                rd: Reg::R7,
+                rn: Reg::SP,
+                offset: MemOffset::Reg {
+                    rm: Reg::R3,
+                    kind: ShiftKind::Lsl,
+                    amount: if matches!(size, MemSize::Word | MemSize::Byte) {
+                        2
+                    } else {
+                        0
+                    },
+                },
+                pre: false,
+                up: true,
+                writeback: false,
+            });
+        }
+        for mode in [AddrMode4::Ia, AddrMode4::Ib, AddrMode4::Da, AddrMode4::Db] {
+            cases.push(Instr::MemMulti {
+                cond: Cond::Al,
+                load: true,
+                rn: Reg::SP,
+                mode,
+                writeback: true,
+                regs: RegList::of(&[Reg::R0, Reg::R4, Reg::PC]),
+            });
+        }
+        cases.push(Instr::Mul {
+            cond: Cond::Al,
+            s: true,
+            rd: Reg::R0,
+            rm: Reg::R1,
+            rs: Reg::R2,
+            acc: Some(Reg::R3),
+        });
+        cases.push(Instr::Branch {
+            cond: Cond::Lt,
+            link: true,
+            offset: -4096,
+        });
+        cases.push(Instr::Svc {
+            cond: Cond::Al,
+            imm: 0x42,
+        });
+        for prec in [VfpPrec::F32, VfpPrec::F64] {
+            for op in [VfpOp::Add, VfpOp::Sub, VfpOp::Mul, VfpOp::Div] {
+                cases.push(Instr::Vfp {
+                    cond: Cond::Al,
+                    op,
+                    prec,
+                    fd: 3,
+                    fn_: 5,
+                    fm: 7,
+                });
+            }
+            cases.push(Instr::Vfp {
+                cond: Cond::Al,
+                op: VfpOp::Mov,
+                prec,
+                fd: 2,
+                fn_: 0,
+                fm: 9,
+            });
+            cases.push(Instr::Vfp {
+                cond: Cond::Al,
+                op: VfpOp::Cmp,
+                prec,
+                fd: 1,
+                fn_: 0,
+                fm: 4,
+            });
+            cases.push(Instr::VfpMem {
+                cond: Cond::Al,
+                load: true,
+                prec,
+                fd: 6,
+                rn: Reg::R2,
+                offset: 16,
+                up: true,
+            });
+        }
+        cases.push(Instr::VfpMrs { cond: Cond::Al });
+
+        for case in cases {
+            let word = encode(&case).unwrap_or_else(|e| panic!("encode {case:?}: {e}"));
+            let back = decode_arm(word, 0)
+                .unwrap_or_else(|e| panic!("decode {word:#010x} ({case:?}): {e}"));
+            assert_eq!(back, case, "word {word:#010x}");
+        }
+    }
+}

@@ -1,0 +1,539 @@
+//! ARM (A32) instruction encoding.
+//!
+//! [`encode`] turns a decoded [`Instr`] into the genuine 32-bit
+//! architectural encoding, so that native workloads in the NDroid
+//! reproduction are real machine code that the decoder
+//! ([`crate::decode`]) parses back.
+
+use crate::error::ArmError;
+use crate::insn::{AddrMode4, Instr, MemOffset, MemSize, Op2, VfpOp, VfpPrec};
+use crate::reg::Reg;
+
+/// Encodes an instruction into its 32-bit ARM representation.
+///
+/// # Errors
+///
+/// Returns [`ArmError::Unsupported`] for operand combinations that have
+/// no A32 encoding (e.g. a shifted register offset on a halfword
+/// transfer, or a branch offset that does not fit in 24 bits).
+pub fn encode(instr: &Instr) -> Result<u32, ArmError> {
+    match *instr {
+        Instr::Dp {
+            cond,
+            op,
+            s,
+            rd,
+            rn,
+            op2,
+        } => {
+            let s_bit = if s || op.is_compare() { 1 } else { 0 };
+            let rd_bits = if op.is_compare() { 0 } else { rd.bits() };
+            let rn_bits = if op.uses_rn() { rn.bits() } else { 0 };
+            let base = (cond.bits() << 28)
+                | ((op as u32) << 21)
+                | (s_bit << 20)
+                | (rn_bits << 16)
+                | (rd_bits << 12);
+            let op2_bits = match op2 {
+                Op2::Imm { imm8, rot4 } => {
+                    (1 << 25) | ((rot4 as u32) << 8) | imm8 as u32
+                }
+                Op2::RegShiftImm { rm, kind, amount } => {
+                    if amount > 31 {
+                        return Err(ArmError::Unsupported {
+                            addr: 0,
+                            what: "shift amount > 31",
+                        });
+                    }
+                    ((amount as u32) << 7) | ((kind as u32) << 5) | rm.bits()
+                }
+                Op2::RegShiftReg { rm, kind, rs } => {
+                    (rs.bits() << 8) | ((kind as u32) << 5) | (1 << 4) | rm.bits()
+                }
+            };
+            Ok(base | op2_bits)
+        }
+        Instr::Mul {
+            cond,
+            s,
+            rd,
+            rm,
+            rs,
+            acc,
+        } => {
+            let (a_bit, rn_bits) = match acc {
+                Some(ra) => (1u32, ra.bits()),
+                None => (0, 0),
+            };
+            Ok((cond.bits() << 28)
+                | (a_bit << 21)
+                | ((s as u32) << 20)
+                | (rd.bits() << 16)
+                | (rn_bits << 12)
+                | (rs.bits() << 8)
+                | (0b1001 << 4)
+                | rm.bits())
+        }
+        Instr::Mem {
+            cond,
+            load,
+            size,
+            rd,
+            rn,
+            offset,
+            pre,
+            up,
+            writeback,
+        } => match size {
+            MemSize::Word | MemSize::Byte => {
+                let b_bit = (size == MemSize::Byte) as u32;
+                let base = (cond.bits() << 28)
+                    | (0b01 << 26)
+                    | ((pre as u32) << 24)
+                    | ((up as u32) << 23)
+                    | (b_bit << 22)
+                    | ((writeback as u32) << 21)
+                    | ((load as u32) << 20)
+                    | (rn.bits() << 16)
+                    | (rd.bits() << 12);
+                let off = match offset {
+                    MemOffset::Imm(i) => {
+                        if i > 0xFFF {
+                            return Err(ArmError::UnencodableImmediate {
+                                value: i as u32,
+                                context: "ldr/str offset",
+                            });
+                        }
+                        i as u32
+                    }
+                    MemOffset::Reg { rm, kind, amount } => {
+                        (1 << 25)
+                            | ((amount as u32) << 7)
+                            | ((kind as u32) << 5)
+                            | rm.bits()
+                    }
+                };
+                Ok(base | off)
+            }
+            MemSize::Half | MemSize::SignedByte | MemSize::SignedHalf => {
+                let (s_bit, h_bit, l_bit) = match (size, load) {
+                    (MemSize::Half, true) => (0u32, 1u32, 1u32),
+                    (MemSize::Half, false) => (0, 1, 0),
+                    (MemSize::SignedByte, true) => (1, 0, 1),
+                    (MemSize::SignedHalf, true) => (1, 1, 1),
+                    _ => {
+                        return Err(ArmError::Unsupported {
+                            addr: 0,
+                            what: "signed store has no encoding",
+                        })
+                    }
+                };
+                let base = (cond.bits() << 28)
+                    | ((pre as u32) << 24)
+                    | ((up as u32) << 23)
+                    | ((writeback as u32) << 21)
+                    | (l_bit << 20)
+                    | (rn.bits() << 16)
+                    | (rd.bits() << 12)
+                    | (1 << 7)
+                    | (s_bit << 6)
+                    | (h_bit << 5)
+                    | (1 << 4);
+                match offset {
+                    MemOffset::Imm(i) => {
+                        if i > 0xFF {
+                            return Err(ArmError::UnencodableImmediate {
+                                value: i as u32,
+                                context: "halfword offset",
+                            });
+                        }
+                        let i = i as u32;
+                        Ok(base | (1 << 22) | ((i >> 4) << 8) | (i & 0xF))
+                    }
+                    MemOffset::Reg { rm, kind: _, amount } => {
+                        if amount != 0 {
+                            return Err(ArmError::Unsupported {
+                                addr: 0,
+                                what: "shifted register offset on halfword transfer",
+                            });
+                        }
+                        Ok(base | rm.bits())
+                    }
+                }
+            }
+        },
+        Instr::MemMulti {
+            cond,
+            load,
+            rn,
+            mode,
+            writeback,
+            regs,
+        } => {
+            let (p, u) = mode.pu();
+            Ok((cond.bits() << 28)
+                | (0b100 << 25)
+                | ((p as u32) << 24)
+                | ((u as u32) << 23)
+                | ((writeback as u32) << 21)
+                | ((load as u32) << 20)
+                | (rn.bits() << 16)
+                | regs.0 as u32)
+        }
+        Instr::Branch { cond, link, offset } => {
+            if offset % 4 != 0 {
+                return Err(ArmError::Unsupported {
+                    addr: 0,
+                    what: "misaligned branch offset",
+                });
+            }
+            let words = offset / 4;
+            if !(-(1 << 23)..(1 << 23)).contains(&words) {
+                return Err(ArmError::BranchOutOfRange {
+                    from: 0,
+                    to: offset as u32,
+                });
+            }
+            Ok((cond.bits() << 28)
+                | (0b101 << 25)
+                | ((link as u32) << 24)
+                | ((words as u32) & 0x00FF_FFFF))
+        }
+        Instr::BranchExchange { cond, link, rm } => {
+            let op = if link { 0x3u32 } else { 0x1 };
+            Ok((cond.bits() << 28) | 0x012F_FF00 | (op << 4) | rm.bits())
+        }
+        Instr::Svc { cond, imm } => {
+            if imm > 0x00FF_FFFF {
+                return Err(ArmError::UnencodableImmediate {
+                    value: imm,
+                    context: "svc",
+                });
+            }
+            Ok((cond.bits() << 28) | (0b1111 << 24) | imm)
+        }
+        Instr::Vfp {
+            cond,
+            op,
+            prec,
+            fd,
+            fn_,
+            fm,
+        } => {
+            let sz = (prec == VfpPrec::F64) as u32;
+            let (vd, d) = split_vreg(fd, prec);
+            let (vn, n) = split_vreg(fn_, prec);
+            let (vm, m) = split_vreg(fm, prec);
+            let base = (cond.bits() << 28)
+                | (0b1110 << 24)
+                | (d << 22)
+                | (vn << 16)
+                | (vd << 12)
+                | (0b101 << 9)
+                | (sz << 8)
+                | (n << 7)
+                | (m << 5)
+                | vm;
+            Ok(match op {
+                VfpOp::Add => base | (0b011 << 20),
+                VfpOp::Sub => base | (0b011 << 20) | (1 << 6),
+                VfpOp::Mul => base | (0b010 << 20),
+                VfpOp::Div => base | (1 << 23),
+                VfpOp::Mov => {
+                    // VMOV register: 11101 D 110000 Vd 101 sz 01 M 0 Vm
+                    (cond.bits() << 28)
+                        | (0b1_1101 << 23)
+                        | (d << 22)
+                        | (0b110000 << 16)
+                        | (vd << 12)
+                        | (0b101 << 9)
+                        | (sz << 8)
+                        | (0b01 << 6)
+                        | (m << 5)
+                        | vm
+                }
+                VfpOp::Cmp => {
+                    // VCMP: 11101 D 110100 Vd 101 sz 01 M 0 Vm  (E=0)
+                    (cond.bits() << 28)
+                        | (0b1_1101 << 23)
+                        | (d << 22)
+                        | (0b110100 << 16)
+                        | (vd << 12)
+                        | (0b101 << 9)
+                        | (sz << 8)
+                        | (0b01 << 6)
+                        | (m << 5)
+                        | vm
+                }
+            })
+        }
+        Instr::VfpMem {
+            cond,
+            load,
+            prec,
+            fd,
+            rn,
+            offset,
+            up,
+        } => {
+            if offset % 4 != 0 || offset / 4 > 0xFF {
+                return Err(ArmError::UnencodableImmediate {
+                    value: offset as u32,
+                    context: "vldr/vstr offset",
+                });
+            }
+            let sz = (prec == VfpPrec::F64) as u32;
+            let (vd, d) = split_vreg(fd, prec);
+            Ok((cond.bits() << 28)
+                | (0b1101 << 24)
+                | ((up as u32) << 23)
+                | (d << 22)
+                | ((load as u32) << 20)
+                | (rn.bits() << 16)
+                | (vd << 12)
+                | (0b101 << 9)
+                | (sz << 8)
+                | (offset as u32 / 4))
+        }
+        Instr::VfpMrs { cond } => Ok((cond.bits() << 28) | 0x0EF1_FA10),
+    }
+}
+
+/// Splits a VFP register index into its (4-bit field, extra bit) parts.
+///
+/// Singles: `Sx` → (x >> 1, x & 1). Doubles: `Dx` → (x & 0xF, x >> 4).
+fn split_vreg(idx: u8, prec: VfpPrec) -> (u32, u32) {
+    match prec {
+        VfpPrec::F32 => ((idx >> 1) as u32, (idx & 1) as u32),
+        VfpPrec::F64 => ((idx & 0xF) as u32, (idx >> 4) as u32),
+    }
+}
+
+/// Convenience: encodes a PUSH (`STMDB SP!, regs`).
+pub fn push(cond: crate::cond::Cond, regs: crate::reg::RegList) -> Result<u32, ArmError> {
+    encode(&Instr::MemMulti {
+        cond,
+        load: false,
+        rn: Reg::SP,
+        mode: AddrMode4::Db,
+        writeback: true,
+        regs,
+    })
+}
+
+/// Convenience: encodes a POP (`LDMIA SP!, regs`).
+pub fn pop(cond: crate::cond::Cond, regs: crate::reg::RegList) -> Result<u32, ArmError> {
+    encode(&Instr::MemMulti {
+        cond,
+        load: true,
+        rn: Reg::SP,
+        mode: AddrMode4::Ia,
+        writeback: true,
+        regs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+    use crate::insn::DpOp;
+    use crate::reg::RegList;
+
+    /// Cross-checked against GNU `as` output.
+    #[test]
+    fn known_encodings() {
+        // add r0, r1, #4  -> 0xE2810004
+        let i = Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Add,
+            s: false,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            op2: Op2::encode_imm(4).unwrap(),
+        };
+        assert_eq!(encode(&i).unwrap(), 0xE281_0004);
+
+        // mov r0, r1 -> 0xE1A00001
+        let i = Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Mov,
+            s: false,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            op2: Op2::reg(Reg::R1),
+        };
+        assert_eq!(encode(&i).unwrap(), 0xE1A0_0001);
+
+        // cmp r2, #0 -> 0xE3520000
+        let i = Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Cmp,
+            s: true,
+            rd: Reg::R0,
+            rn: Reg::R2,
+            op2: Op2::encode_imm(0).unwrap(),
+        };
+        assert_eq!(encode(&i).unwrap(), 0xE352_0000);
+
+        // ldr r0, [r1, #8] -> 0xE5910008
+        let i = Instr::Mem {
+            cond: Cond::Al,
+            load: true,
+            size: MemSize::Word,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset: MemOffset::Imm(8),
+            pre: true,
+            up: true,
+            writeback: false,
+        };
+        assert_eq!(encode(&i).unwrap(), 0xE591_0008);
+
+        // str r3, [sp, #-4]! -> 0xE52D3004
+        let i = Instr::Mem {
+            cond: Cond::Al,
+            load: false,
+            size: MemSize::Word,
+            rd: Reg::R3,
+            rn: Reg::SP,
+            offset: MemOffset::Imm(4),
+            pre: true,
+            up: false,
+            writeback: true,
+        };
+        assert_eq!(encode(&i).unwrap(), 0xE52D_3004);
+
+        // bx lr -> 0xE12FFF1E
+        let i = Instr::BranchExchange {
+            cond: Cond::Al,
+            link: false,
+            rm: Reg::LR,
+        };
+        assert_eq!(encode(&i).unwrap(), 0xE12F_FF1E);
+
+        // blx r3 -> 0xE12FFF33
+        let i = Instr::BranchExchange {
+            cond: Cond::Al,
+            link: true,
+            rm: Reg::R3,
+        };
+        assert_eq!(encode(&i).unwrap(), 0xE12F_FF33);
+
+        // push {r4, lr} -> 0xE92D4010
+        assert_eq!(
+            push(Cond::Al, RegList::of(&[Reg::R4, Reg::LR])).unwrap(),
+            0xE92D_4010
+        );
+        // pop {r4, pc} -> 0xE8BD8010
+        assert_eq!(
+            pop(Cond::Al, RegList::of(&[Reg::R4, Reg::PC])).unwrap(),
+            0xE8BD_8010
+        );
+
+        // mul r0, r1, r2 -> 0xE0000291
+        let i = Instr::Mul {
+            cond: Cond::Al,
+            s: false,
+            rd: Reg::R0,
+            rm: Reg::R1,
+            rs: Reg::R2,
+            acc: None,
+        };
+        assert_eq!(encode(&i).unwrap(), 0xE000_0291);
+
+        // svc #0 -> 0xEF000000
+        let i = Instr::Svc {
+            cond: Cond::Al,
+            imm: 0,
+        };
+        assert_eq!(encode(&i).unwrap(), 0xEF00_0000);
+
+        // b .+8 -> offset field 0 (pc+8), word 0xEA000000
+        let i = Instr::Branch {
+            cond: Cond::Al,
+            link: false,
+            offset: 0,
+        };
+        assert_eq!(encode(&i).unwrap(), 0xEA00_0000);
+
+        // ldrh r0, [r1, #2] -> 0xE1D100B2
+        let i = Instr::Mem {
+            cond: Cond::Al,
+            load: true,
+            size: MemSize::Half,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset: MemOffset::Imm(2),
+            pre: true,
+            up: true,
+            writeback: false,
+        };
+        assert_eq!(encode(&i).unwrap(), 0xE1D1_00B2);
+
+        // vadd.f64 d0, d1, d2 -> 0xEE310B02
+        let i = Instr::Vfp {
+            cond: Cond::Al,
+            op: VfpOp::Add,
+            prec: VfpPrec::F64,
+            fd: 0,
+            fn_: 1,
+            fm: 2,
+        };
+        assert_eq!(encode(&i).unwrap(), 0xEE31_0B02);
+
+        // vldr s0, [r1, #4] -> 0xED910A01
+        let i = Instr::VfpMem {
+            cond: Cond::Al,
+            load: true,
+            prec: VfpPrec::F32,
+            fd: 0,
+            rn: Reg::R1,
+            offset: 4,
+            up: true,
+        };
+        assert_eq!(encode(&i).unwrap(), 0xED91_0A01);
+
+        // vmrs APSR_nzcv, fpscr -> 0xEEF1FA10
+        assert_eq!(encode(&Instr::VfpMrs { cond: Cond::Al }).unwrap(), 0xEEF1_FA10);
+    }
+
+    #[test]
+    fn rejects_unencodable() {
+        // Signed byte store does not exist.
+        let i = Instr::Mem {
+            cond: Cond::Al,
+            load: false,
+            size: MemSize::SignedByte,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset: MemOffset::Imm(0),
+            pre: true,
+            up: true,
+            writeback: false,
+        };
+        assert!(encode(&i).is_err());
+
+        // 12-bit offset overflow.
+        let i = Instr::Mem {
+            cond: Cond::Al,
+            load: true,
+            size: MemSize::Word,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset: MemOffset::Imm(0x1000),
+            pre: true,
+            up: true,
+            writeback: false,
+        };
+        assert!(encode(&i).is_err());
+
+        // Branch offset out of range.
+        let i = Instr::Branch {
+            cond: Cond::Al,
+            link: false,
+            offset: 64 << 20,
+        };
+        assert!(encode(&i).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type for the ARM simulator.
+
+use std::fmt;
+
+/// Errors raised while assembling, decoding or executing guest code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArmError {
+    /// An immediate cannot be encoded in the instruction's immediate field.
+    UnencodableImmediate {
+        /// The value that failed to encode.
+        value: u32,
+        /// The instruction mnemonic being assembled.
+        context: &'static str,
+    },
+    /// A branch target is out of range or misaligned.
+    BranchOutOfRange {
+        /// Branch origin.
+        from: u32,
+        /// Branch target.
+        to: u32,
+    },
+    /// A label was referenced but never bound.
+    UnboundLabel(usize),
+    /// A label was bound more than once.
+    RebindLabel(usize),
+    /// The word at `addr` does not decode to a supported instruction.
+    UndefinedInstruction {
+        /// Address of the instruction.
+        addr: u32,
+        /// The raw instruction word.
+        word: u32,
+    },
+    /// A memory access touched an unmapped address in strict mode.
+    Unmapped {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// The executor detected an instruction it cannot run.
+    Unsupported {
+        /// Address of the instruction.
+        addr: u32,
+        /// Description of the unsupported feature.
+        what: &'static str,
+    },
+    /// Division by zero in a guest `VDIV` or helper.
+    DivideByZero {
+        /// Address of the instruction.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for ArmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArmError::UnencodableImmediate { value, context } => {
+                write!(f, "immediate {value:#x} not encodable in {context}")
+            }
+            ArmError::BranchOutOfRange { from, to } => {
+                write!(f, "branch from {from:#x} to {to:#x} out of range")
+            }
+            ArmError::UnboundLabel(id) => write!(f, "label {id} referenced but never bound"),
+            ArmError::RebindLabel(id) => write!(f, "label {id} bound twice"),
+            ArmError::UndefinedInstruction { addr, word } => {
+                write!(f, "undefined instruction {word:#010x} at {addr:#x}")
+            }
+            ArmError::Unmapped { addr } => write!(f, "unmapped guest address {addr:#x}"),
+            ArmError::Unsupported { addr, what } => {
+                write!(f, "unsupported operation at {addr:#x}: {what}")
+            }
+            ArmError::DivideByZero { addr } => write!(f, "divide by zero at {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for ArmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            ArmError::UnencodableImmediate {
+                value: 0x1234,
+                context: "mov",
+            },
+            ArmError::BranchOutOfRange { from: 0, to: 1 },
+            ArmError::UnboundLabel(3),
+            ArmError::RebindLabel(4),
+            ArmError::UndefinedInstruction {
+                addr: 0x1000,
+                word: 0xFFFF_FFFF,
+            },
+            ArmError::Unmapped { addr: 0xdead },
+            ArmError::Unsupported {
+                addr: 0,
+                what: "x",
+            },
+            ArmError::DivideByZero { addr: 8 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArmError>();
+    }
+}

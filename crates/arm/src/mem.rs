@@ -1,0 +1,260 @@
+//! Sparse paged guest memory.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// A sparse 32-bit guest address space backed by 4 KiB pages, with a
+/// one-entry TLB caching the last page touched (guest access patterns
+/// are strongly local, so this removes most hash lookups from the
+/// fetch/load/store fast paths — the moral equivalent of QEMU's
+/// softmmu TLB).
+///
+/// Reads of unmapped memory return zero (pages are allocated lazily on
+/// write), mirroring a zero-filled anonymous mapping. Little-endian, like
+/// the Android/ARM targets NDroid analyzed.
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    index: HashMap<u32, u32>,
+    tlb: Cell<Option<(u32, u32)>>, // (page number, pages[] slot)
+}
+
+impl Clone for Memory {
+    fn clone(&self) -> Memory {
+        Memory {
+            pages: self.pages.clone(),
+            index: self.index.clone(),
+            tlb: Cell::new(None),
+        }
+    }
+}
+
+impl Memory {
+    /// Creates an empty address space.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of pages currently materialized.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the page containing `addr` has been materialized.
+    pub fn is_mapped(&self, addr: u32) -> bool {
+        self.index.contains_key(&(addr >> PAGE_SHIFT))
+    }
+
+    #[inline]
+    fn slot_of(&self, pageno: u32) -> Option<u32> {
+        if let Some((p, slot)) = self.tlb.get() {
+            if p == pageno {
+                return Some(slot);
+            }
+        }
+        let slot = *self.index.get(&pageno)?;
+        self.tlb.set(Some((pageno, slot)));
+        Some(slot)
+    }
+
+    #[inline]
+    fn slot_or_alloc(&mut self, pageno: u32) -> u32 {
+        if let Some(slot) = self.slot_of(pageno) {
+            return slot;
+        }
+        let slot = self.pages.len() as u32;
+        self.pages.push(Box::new([0u8; PAGE_SIZE]));
+        self.index.insert(pageno, slot);
+        self.tlb.set(Some((pageno, slot)));
+        slot
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.slot_of(addr >> PAGE_SHIFT) {
+            Some(slot) => self.pages[slot as usize][(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, materializing the page if needed.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        let slot = self.slot_or_alloc(addr >> PAGE_SHIFT);
+        self.pages[slot as usize][(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads a little-endian 16-bit halfword (no alignment requirement).
+    #[inline]
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian 16-bit halfword.
+    #[inline]
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        let b = value.to_le_bytes();
+        self.write_u8(addr, b[0]);
+        self.write_u8(addr.wrapping_add(1), b[1]);
+    }
+
+    /// Reads a little-endian 32-bit word (no alignment requirement).
+    #[inline]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        // Fast path: whole word within one page.
+        let off = (addr & PAGE_MASK) as usize;
+        if off + 4 <= PAGE_SIZE {
+            if let Some(slot) = self.slot_of(addr >> PAGE_SHIFT) {
+                let page = &self.pages[slot as usize];
+                return u32::from_le_bytes([page[off], page[off + 1], page[off + 2], page[off + 3]]);
+            }
+            return 0;
+        }
+        u32::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr.wrapping_add(1)),
+            self.read_u8(addr.wrapping_add(2)),
+            self.read_u8(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a little-endian 32-bit word.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        let off = (addr & PAGE_MASK) as usize;
+        let b = value.to_le_bytes();
+        if off + 4 <= PAGE_SIZE {
+            let slot = self.slot_or_alloc(addr >> PAGE_SHIFT);
+            self.pages[slot as usize][off..off + 4].copy_from_slice(&b);
+            return;
+        }
+        for (i, byte) in b.into_iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), byte);
+        }
+    }
+
+    /// Reads a little-endian 64-bit doubleword.
+    pub fn read_u64(&self, addr: u32) -> u64 {
+        (self.read_u32(addr) as u64) | ((self.read_u32(addr.wrapping_add(4)) as u64) << 32)
+    }
+
+    /// Writes a little-endian 64-bit doubleword.
+    pub fn write_u64(&mut self, addr: u32, value: u64) {
+        self.write_u32(addr, value as u32);
+        self.write_u32(addr.wrapping_add(4), (value >> 32) as u32);
+    }
+
+    /// Copies `bytes` into guest memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
+            .collect()
+    }
+
+    /// Reads a NUL-terminated C string starting at `addr` (at most
+    /// `max_len` bytes, defaulting the scan to 64 KiB to bound runaway
+    /// reads of corrupt guests).
+    pub fn read_cstr(&self, addr: u32) -> Vec<u8> {
+        self.read_cstr_bounded(addr, 65536)
+    }
+
+    /// Reads a NUL-terminated C string of at most `max_len` bytes.
+    pub fn read_cstr_bounded(&self, addr: u32, max_len: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..max_len {
+            let b = self.read_u8(addr.wrapping_add(i as u32));
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        out
+    }
+
+    /// Writes a NUL-terminated C string.
+    pub fn write_cstr(&mut self, addr: u32, s: &[u8]) {
+        self.write_bytes(addr, s);
+        self.write_u8(addr.wrapping_add(s.len() as u32), 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0xdead_beef), 0);
+        assert_eq!(m.read_u32(0xdead_beef), 0);
+        assert_eq!(m.page_count(), 0);
+        assert!(!m.is_mapped(0xdead_beef));
+    }
+
+    #[test]
+    fn rw_roundtrip_all_widths() {
+        let mut m = Memory::new();
+        m.write_u8(0x100, 0xAB);
+        assert_eq!(m.read_u8(0x100), 0xAB);
+        m.write_u16(0x200, 0xBEEF);
+        assert_eq!(m.read_u16(0x200), 0xBEEF);
+        m.write_u32(0x300, 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(0x300), 0xDEAD_BEEF);
+        m.write_u64(0x400, 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_u64(0x400), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new();
+        m.write_u32(0, 0x0403_0201);
+        assert_eq!(m.read_u8(0), 1);
+        assert_eq!(m.read_u8(1), 2);
+        assert_eq!(m.read_u8(2), 3);
+        assert_eq!(m.read_u8(3), 4);
+    }
+
+    #[test]
+    fn cross_page_word_access() {
+        let mut m = Memory::new();
+        let addr = 0x1000 - 2; // straddles a page boundary
+        m.write_u32(addr, 0x1122_3344);
+        assert_eq!(m.read_u32(addr), 0x1122_3344);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn cstr_roundtrip() {
+        let mut m = Memory::new();
+        m.write_cstr(0x500, b"hello jni");
+        assert_eq!(m.read_cstr(0x500), b"hello jni");
+        assert_eq!(m.read_u8(0x500 + 9), 0);
+    }
+
+    #[test]
+    fn cstr_bounded_stops() {
+        let mut m = Memory::new();
+        m.write_bytes(0x600, &[0x41; 100]);
+        assert_eq!(m.read_cstr_bounded(0x600, 10).len(), 10);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write_bytes(0x2000 - 100, &data);
+        assert_eq!(m.read_bytes(0x2000 - 100, 256), data);
+    }
+}

@@ -1,0 +1,197 @@
+//! ARM general-purpose register names.
+
+use std::fmt;
+
+/// One of the sixteen ARM core registers.
+///
+/// `R13`/`SP` is the stack pointer, `R14`/`LR` the link register and
+/// `R15`/`PC` the program counter, per the ARM Architecture Reference
+/// Manual and the AAPCS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Reg {
+    /// General-purpose register R0.
+    R0 = 0,
+    /// General-purpose register R1.
+    R1 = 1,
+    /// General-purpose register R2.
+    R2 = 2,
+    /// General-purpose register R3.
+    R3 = 3,
+    /// General-purpose register R4.
+    R4 = 4,
+    /// General-purpose register R5.
+    R5 = 5,
+    /// General-purpose register R6.
+    R6 = 6,
+    /// General-purpose register R7.
+    R7 = 7,
+    /// General-purpose register R8.
+    R8 = 8,
+    /// General-purpose register R9.
+    R9 = 9,
+    /// General-purpose register R10.
+    R10 = 10,
+    /// General-purpose register R11.
+    R11 = 11,
+    /// General-purpose register R12.
+    R12 = 12,
+    /// Stack pointer (R13).
+    SP = 13,
+    /// Link register (R14).
+    LR = 14,
+    /// Program counter (R15).
+    PC = 15,
+}
+
+impl Reg {
+    /// All sixteen registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::SP,
+        Reg::LR,
+        Reg::PC,
+    ];
+
+    /// The register's index in the architectural register file (0..=15).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The 4-bit encoding used in instruction fields.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Builds a register from a 4-bit field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 15`.
+    #[inline]
+    pub fn from_bits(bits: u32) -> Reg {
+        Reg::ALL[(bits & 0xF) as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::SP => write!(f, "sp"),
+            Reg::LR => write!(f, "lr"),
+            Reg::PC => write!(f, "pc"),
+            other => write!(f, "r{}", other.index()),
+        }
+    }
+}
+
+/// A set of core registers, as used by `LDM`/`STM`/`PUSH`/`POP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegList(pub u16);
+
+impl RegList {
+    /// The empty register list.
+    pub const EMPTY: RegList = RegList(0);
+
+    /// Builds a list from a slice of registers.
+    pub fn of(regs: &[Reg]) -> RegList {
+        let mut mask = 0u16;
+        for r in regs {
+            mask |= 1 << r.index();
+        }
+        RegList(mask)
+    }
+
+    /// Whether `r` is in the list.
+    #[inline]
+    pub fn contains(self, r: Reg) -> bool {
+        self.0 & (1 << r.index()) != 0
+    }
+
+    /// Number of registers in the list.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over members in ascending register order (the transfer
+    /// order used by `LDM`/`STM`).
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        Reg::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+}
+
+impl fmt::Display for RegList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{r}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip_bits() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_bits(r.bits()), r);
+        }
+    }
+
+    #[test]
+    fn reg_display_names() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::LR.to_string(), "lr");
+        assert_eq!(Reg::PC.to_string(), "pc");
+    }
+
+    #[test]
+    fn reglist_membership_and_order() {
+        let l = RegList::of(&[Reg::R4, Reg::R0, Reg::LR]);
+        assert!(l.contains(Reg::R0));
+        assert!(l.contains(Reg::R4));
+        assert!(l.contains(Reg::LR));
+        assert!(!l.contains(Reg::R1));
+        assert_eq!(l.len(), 3);
+        let order: Vec<Reg> = l.iter().collect();
+        assert_eq!(order, vec![Reg::R0, Reg::R4, Reg::LR]);
+    }
+
+    #[test]
+    fn reglist_display() {
+        let l = RegList::of(&[Reg::R0, Reg::PC]);
+        assert_eq!(l.to_string(), "{r0,pc}");
+        assert_eq!(RegList::EMPTY.to_string(), "{}");
+        assert!(RegList::EMPTY.is_empty());
+    }
+}

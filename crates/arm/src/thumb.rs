@@ -1,0 +1,864 @@
+//! Thumb (T16) instruction support.
+//!
+//! [`decode_thumb`] maps classic Thumb encodings onto the same [`Instr`]
+//! model as ARM, so the executor and NDroid's taint tracer handle both
+//! instruction sets with one code path — mirroring how the paper's
+//! instruction tracer covers "101 ARM and 55 Thumb instructions" with a
+//! shared propagation table (Table V). The [`enc`] module provides raw
+//! encoders used by [`crate::asm::ThumbAssembler`].
+
+use crate::cond::Cond;
+use crate::error::ArmError;
+use crate::insn::{DpOp, Instr, MemOffset, MemSize, Op2, ShiftKind};
+use crate::mem::Memory;
+use crate::reg::{Reg, RegList};
+
+/// Decodes the Thumb instruction at `addr` (reads one halfword, or two
+/// for `BL`). Returns the decoded instruction and its size in bytes.
+///
+/// # Errors
+///
+/// [`ArmError::UndefinedInstruction`] for encodings outside the
+/// supported subset.
+pub fn decode_thumb(mem: &Memory, addr: u32) -> Result<(Instr, u8), ArmError> {
+    let h = mem.read_u16(addr);
+    let hw = h as u32;
+    let undef = || ArmError::UndefinedInstruction {
+        addr,
+        word: hw,
+    };
+    let r3 = |shift: u32| Reg::from_bits((hw >> shift) & 0x7);
+
+    match hw >> 13 {
+        0b000 => {
+            let op = (hw >> 11) & 0b11;
+            if op != 0b11 {
+                // Format 1: shift by immediate.
+                let kind = ShiftKind::from_bits(op);
+                Ok((
+                    Instr::Dp {
+                        cond: Cond::Al,
+                        op: DpOp::Mov,
+                        s: true,
+                        rd: r3(0),
+                        rn: Reg::R0,
+                        op2: Op2::RegShiftImm {
+                            rm: r3(3),
+                            kind,
+                            amount: ((hw >> 6) & 0x1F) as u8,
+                        },
+                    },
+                    2,
+                ))
+            } else {
+                // Format 2: add/subtract register or 3-bit immediate.
+                let op = if hw & (1 << 9) != 0 { DpOp::Sub } else { DpOp::Add };
+                let op2 = if hw & (1 << 10) != 0 {
+                    Op2::Imm {
+                        imm8: ((hw >> 6) & 0x7) as u8,
+                        rot4: 0,
+                    }
+                } else {
+                    Op2::reg(r3(6))
+                };
+                Ok((
+                    Instr::Dp {
+                        cond: Cond::Al,
+                        op,
+                        s: true,
+                        rd: r3(0),
+                        rn: r3(3),
+                        op2,
+                    },
+                    2,
+                ))
+            }
+        }
+        0b001 => {
+            // Format 3: move/compare/add/subtract 8-bit immediate.
+            let rd = r3(8);
+            let imm = Op2::Imm {
+                imm8: (hw & 0xFF) as u8,
+                rot4: 0,
+            };
+            let op = match (hw >> 11) & 0b11 {
+                0b00 => DpOp::Mov,
+                0b01 => DpOp::Cmp,
+                0b10 => DpOp::Add,
+                _ => DpOp::Sub,
+            };
+            Ok((
+                Instr::Dp {
+                    cond: Cond::Al,
+                    op,
+                    s: true,
+                    rd,
+                    rn: rd,
+                    op2: imm,
+                },
+                2,
+            ))
+        }
+        0b010 => {
+            if hw >> 10 == 0b010000 {
+                return decode_alu(hw, addr);
+            }
+            if hw >> 10 == 0b010001 {
+                return decode_hireg(hw, addr);
+            }
+            if hw >> 11 == 0b01001 {
+                // Format 6: PC-relative load.
+                return Ok((
+                    Instr::Mem {
+                        cond: Cond::Al,
+                        load: true,
+                        size: MemSize::Word,
+                        rd: r3(8),
+                        rn: Reg::PC,
+                        offset: MemOffset::Imm(((hw & 0xFF) * 4) as u16),
+                        pre: true,
+                        up: true,
+                        writeback: false,
+                    },
+                    2,
+                ));
+            }
+            // Format 7/8: load/store with register offset.
+            let op3 = (hw >> 9) & 0x7;
+            let (load, size) = match op3 {
+                0b000 => (false, MemSize::Word),
+                0b001 => (false, MemSize::Half),
+                0b010 => (false, MemSize::Byte),
+                0b011 => (true, MemSize::SignedByte),
+                0b100 => (true, MemSize::Word),
+                0b101 => (true, MemSize::Half),
+                0b110 => (true, MemSize::Byte),
+                0b111 => (true, MemSize::SignedHalf),
+                _ => return Err(undef()),
+            };
+            Ok((
+                Instr::Mem {
+                    cond: Cond::Al,
+                    load,
+                    size,
+                    rd: r3(0),
+                    rn: r3(3),
+                    offset: MemOffset::Reg {
+                        rm: r3(6),
+                        kind: ShiftKind::Lsl,
+                        amount: 0,
+                    },
+                    pre: true,
+                    up: true,
+                    writeback: false,
+                },
+                2,
+            ))
+        }
+        0b011 => {
+            // Format 9: load/store word/byte with 5-bit immediate.
+            let byte = hw & (1 << 12) != 0;
+            let load = hw & (1 << 11) != 0;
+            let imm5 = (hw >> 6) & 0x1F;
+            let (size, off) = if byte {
+                (MemSize::Byte, imm5)
+            } else {
+                (MemSize::Word, imm5 * 4)
+            };
+            Ok((
+                Instr::Mem {
+                    cond: Cond::Al,
+                    load,
+                    size,
+                    rd: r3(0),
+                    rn: r3(3),
+                    offset: MemOffset::Imm(off as u16),
+                    pre: true,
+                    up: true,
+                    writeback: false,
+                },
+                2,
+            ))
+        }
+        0b100 => {
+            if hw & (1 << 12) == 0 {
+                // Format 10: load/store halfword immediate.
+                let load = hw & (1 << 11) != 0;
+                Ok((
+                    Instr::Mem {
+                        cond: Cond::Al,
+                        load,
+                        size: MemSize::Half,
+                        rd: r3(0),
+                        rn: r3(3),
+                        offset: MemOffset::Imm((((hw >> 6) & 0x1F) * 2) as u16),
+                        pre: true,
+                        up: true,
+                        writeback: false,
+                    },
+                    2,
+                ))
+            } else {
+                // Format 11: SP-relative load/store.
+                let load = hw & (1 << 11) != 0;
+                Ok((
+                    Instr::Mem {
+                        cond: Cond::Al,
+                        load,
+                        size: MemSize::Word,
+                        rd: r3(8),
+                        rn: Reg::SP,
+                        offset: MemOffset::Imm(((hw & 0xFF) * 4) as u16),
+                        pre: true,
+                        up: true,
+                        writeback: false,
+                    },
+                    2,
+                ))
+            }
+        }
+        0b101 => {
+            if hw & (1 << 12) == 0 {
+                // Format 12: load address (ADR / ADD rd, sp, #imm).
+                let sp = hw & (1 << 11) != 0;
+                let rn = if sp { Reg::SP } else { Reg::PC };
+                return Ok((
+                    Instr::Dp {
+                        cond: Cond::Al,
+                        op: DpOp::Add,
+                        s: false,
+                        rd: r3(8),
+                        rn,
+                        op2: Op2::encode_imm((hw & 0xFF) * 4).ok_or_else(undef)?,
+                    },
+                    2,
+                ));
+            }
+            if hw >> 8 == 0b1011_0000 {
+                // Format 13: add offset to stack pointer.
+                let sub = hw & (1 << 7) != 0;
+                let imm = (hw & 0x7F) * 4;
+                return Ok((
+                    Instr::Dp {
+                        cond: Cond::Al,
+                        op: if sub { DpOp::Sub } else { DpOp::Add },
+                        s: false,
+                        rd: Reg::SP,
+                        rn: Reg::SP,
+                        op2: Op2::encode_imm(imm).ok_or_else(undef)?,
+                    },
+                    2,
+                ));
+            }
+            if (hw >> 9) & 0b11 == 0b10 && (hw >> 12) & 1 == 1 {
+                // Format 14: push/pop registers.
+                let load = hw & (1 << 11) != 0;
+                let mut regs = RegList((hw & 0xFF) as u16);
+                if hw & (1 << 8) != 0 {
+                    if load {
+                        regs = RegList(regs.0 | 1 << 15); // POP … pc
+                    } else {
+                        regs = RegList(regs.0 | 1 << 14); // PUSH … lr
+                    }
+                }
+                return Ok((
+                    Instr::MemMulti {
+                        cond: Cond::Al,
+                        load,
+                        rn: Reg::SP,
+                        mode: if load {
+                            crate::insn::AddrMode4::Ia
+                        } else {
+                            crate::insn::AddrMode4::Db
+                        },
+                        writeback: true,
+                        regs,
+                    },
+                    2,
+                ));
+            }
+            Err(undef())
+        }
+        0b110 => {
+            if hw >> 12 == 0b1101 {
+                let cond_bits = (hw >> 8) & 0xF;
+                if cond_bits == 0xF {
+                    // Format 17: SVC.
+                    return Ok((
+                        Instr::Svc {
+                            cond: Cond::Al,
+                            imm: hw & 0xFF,
+                        },
+                        2,
+                    ));
+                }
+                if cond_bits == 0xE {
+                    return Err(undef()); // UDF
+                }
+                // Format 16: conditional branch, offset = sext(imm8) * 2.
+                let mut off = (hw & 0xFF) as i32;
+                if off & 0x80 != 0 {
+                    off |= !0xFF;
+                }
+                return Ok((
+                    Instr::Branch {
+                        cond: Cond::from_bits(cond_bits),
+                        link: false,
+                        offset: off * 2,
+                    },
+                    2,
+                ));
+            }
+            // Format 15 (LDMIA/STMIA) lives at 1100; supported.
+            if hw >> 12 == 0b1100 {
+                let load = hw & (1 << 11) != 0;
+                return Ok((
+                    Instr::MemMulti {
+                        cond: Cond::Al,
+                        load,
+                        rn: r3(8),
+                        mode: crate::insn::AddrMode4::Ia,
+                        writeback: true,
+                        regs: RegList((hw & 0xFF) as u16),
+                    },
+                    2,
+                ));
+            }
+            Err(undef())
+        }
+        0b111 => {
+            if hw >> 11 == 0b11100 {
+                // Format 18: unconditional branch.
+                let mut off = (hw & 0x7FF) as i32;
+                if off & 0x400 != 0 {
+                    off |= !0x7FF;
+                }
+                return Ok((
+                    Instr::Branch {
+                        cond: Cond::Al,
+                        link: false,
+                        offset: off * 2,
+                    },
+                    2,
+                ));
+            }
+            if hw >> 11 == 0b11110 {
+                // Format 19: BL prefix + suffix pair (4-byte instruction).
+                let h2 = mem.read_u16(addr.wrapping_add(2)) as u32;
+                if h2 >> 11 != 0b11111 {
+                    return Err(undef());
+                }
+                let mut hi = (hw & 0x7FF) as i32;
+                if hi & 0x400 != 0 {
+                    hi |= !0x7FF;
+                }
+                let lo = (h2 & 0x7FF) as i32;
+                return Ok((
+                    Instr::Branch {
+                        cond: Cond::Al,
+                        link: true,
+                        offset: (hi << 12) | (lo << 1),
+                    },
+                    4,
+                ));
+            }
+            Err(undef())
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn decode_alu(hw: u32, addr: u32) -> Result<(Instr, u8), ArmError> {
+    let rd = Reg::from_bits(hw & 0x7);
+    let rm = Reg::from_bits((hw >> 3) & 0x7);
+    let dp = |op: DpOp, rd: Reg, rn: Reg, op2: Op2| {
+        Ok((
+            Instr::Dp {
+                cond: Cond::Al,
+                op,
+                s: true,
+                rd,
+                rn,
+                op2,
+            },
+            2,
+        ))
+    };
+    match (hw >> 6) & 0xF {
+        0x0 => dp(DpOp::And, rd, rd, Op2::reg(rm)),
+        0x1 => dp(DpOp::Eor, rd, rd, Op2::reg(rm)),
+        0x2 => dp(
+            DpOp::Mov,
+            rd,
+            Reg::R0,
+            Op2::RegShiftReg {
+                rm: rd,
+                kind: ShiftKind::Lsl,
+                rs: rm,
+            },
+        ),
+        0x3 => dp(
+            DpOp::Mov,
+            rd,
+            Reg::R0,
+            Op2::RegShiftReg {
+                rm: rd,
+                kind: ShiftKind::Lsr,
+                rs: rm,
+            },
+        ),
+        0x4 => dp(
+            DpOp::Mov,
+            rd,
+            Reg::R0,
+            Op2::RegShiftReg {
+                rm: rd,
+                kind: ShiftKind::Asr,
+                rs: rm,
+            },
+        ),
+        0x5 => dp(DpOp::Adc, rd, rd, Op2::reg(rm)),
+        0x6 => dp(DpOp::Sbc, rd, rd, Op2::reg(rm)),
+        0x7 => dp(
+            DpOp::Mov,
+            rd,
+            Reg::R0,
+            Op2::RegShiftReg {
+                rm: rd,
+                kind: ShiftKind::Ror,
+                rs: rm,
+            },
+        ),
+        0x8 => dp(DpOp::Tst, Reg::R0, rd, Op2::reg(rm)),
+        0x9 => dp(DpOp::Rsb, rd, rm, Op2::Imm { imm8: 0, rot4: 0 }),
+        0xA => dp(DpOp::Cmp, Reg::R0, rd, Op2::reg(rm)),
+        0xB => dp(DpOp::Cmn, Reg::R0, rd, Op2::reg(rm)),
+        0xC => dp(DpOp::Orr, rd, rd, Op2::reg(rm)),
+        0xD => Ok((
+            Instr::Mul {
+                cond: Cond::Al,
+                s: true,
+                rd,
+                rm,
+                rs: rd,
+                acc: None,
+            },
+            2,
+        )),
+        0xE => dp(DpOp::Bic, rd, rd, Op2::reg(rm)),
+        0xF => dp(DpOp::Mvn, rd, Reg::R0, Op2::reg(rm)),
+        _ => Err(ArmError::UndefinedInstruction { addr, word: hw }),
+    }
+}
+
+fn decode_hireg(hw: u32, _addr: u32) -> Result<(Instr, u8), ArmError> {
+    let h1 = (hw >> 7) & 1;
+    let h2 = (hw >> 6) & 1;
+    let rd = Reg::from_bits((h1 << 3) | (hw & 0x7));
+    let rm = Reg::from_bits((h2 << 3) | ((hw >> 3) & 0x7));
+    match (hw >> 8) & 0b11 {
+        0b00 => Ok((
+            Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Add,
+                s: false,
+                rd,
+                rn: rd,
+                op2: Op2::reg(rm),
+            },
+            2,
+        )),
+        0b01 => Ok((
+            Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Cmp,
+                s: true,
+                rd: Reg::R0,
+                rn: rd,
+                op2: Op2::reg(rm),
+            },
+            2,
+        )),
+        0b10 => Ok((
+            Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Mov,
+                s: false,
+                rd,
+                rn: Reg::R0,
+                op2: Op2::reg(rm),
+            },
+            2,
+        )),
+        _ => {
+            // BX / BLX: the link bit is H1.
+            Ok((
+                Instr::BranchExchange {
+                    cond: Cond::Al,
+                    link: h1 == 1,
+                    rm,
+                },
+                2,
+            ))
+        }
+    }
+}
+
+/// Raw Thumb encoders. Register arguments must be R0–R7 unless noted.
+pub mod enc {
+    use crate::reg::Reg;
+
+    fn lo(r: Reg) -> u16 {
+        debug_assert!(r.index() < 8, "low register required, got {r}");
+        r.bits() as u16
+    }
+
+    /// `MOVS rd, #imm8`
+    pub fn mov_imm(rd: Reg, imm8: u8) -> u16 {
+        0x2000 | (lo(rd) << 8) | imm8 as u16
+    }
+
+    /// `CMP rd, #imm8`
+    pub fn cmp_imm(rd: Reg, imm8: u8) -> u16 {
+        0x2800 | (lo(rd) << 8) | imm8 as u16
+    }
+
+    /// `ADDS rd, #imm8`
+    pub fn add_imm8(rd: Reg, imm8: u8) -> u16 {
+        0x3000 | (lo(rd) << 8) | imm8 as u16
+    }
+
+    /// `SUBS rd, #imm8`
+    pub fn sub_imm8(rd: Reg, imm8: u8) -> u16 {
+        0x3800 | (lo(rd) << 8) | imm8 as u16
+    }
+
+    /// `ADDS rd, rn, rm`
+    pub fn add_reg(rd: Reg, rn: Reg, rm: Reg) -> u16 {
+        0x1800 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rd)
+    }
+
+    /// `SUBS rd, rn, rm`
+    pub fn sub_reg(rd: Reg, rn: Reg, rm: Reg) -> u16 {
+        0x1A00 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rd)
+    }
+
+    /// `LSLS rd, rm, #imm5`
+    pub fn lsl_imm(rd: Reg, rm: Reg, imm5: u8) -> u16 {
+        ((imm5 as u16 & 0x1F) << 6) | (lo(rm) << 3) | lo(rd)
+    }
+
+    /// Data-processing register op from format 4 (AND=0 … MVN=15).
+    pub fn alu(op4: u16, rd: Reg, rm: Reg) -> u16 {
+        0x4000 | ((op4 & 0xF) << 6) | (lo(rm) << 3) | lo(rd)
+    }
+
+    /// `MOV rd, rm` (high-register form, any registers).
+    pub fn mov_hi(rd: Reg, rm: Reg) -> u16 {
+        let d = rd.bits() as u16;
+        let m = rm.bits() as u16;
+        0x4600 | ((d >> 3) << 7) | (m << 3) | (d & 7)
+    }
+
+    /// `BX rm` (any register).
+    pub fn bx(rm: Reg) -> u16 {
+        0x4700 | ((rm.bits() as u16) << 3)
+    }
+
+    /// `BLX rm` (any register).
+    pub fn blx(rm: Reg) -> u16 {
+        0x4780 | ((rm.bits() as u16) << 3)
+    }
+
+    /// `LDR rd, [rn, #imm5*4]`
+    pub fn ldr_imm(rd: Reg, rn: Reg, imm5: u8) -> u16 {
+        0x6800 | ((imm5 as u16 & 0x1F) << 6) | (lo(rn) << 3) | lo(rd)
+    }
+
+    /// `STR rd, [rn, #imm5*4]`
+    pub fn str_imm(rd: Reg, rn: Reg, imm5: u8) -> u16 {
+        0x6000 | ((imm5 as u16 & 0x1F) << 6) | (lo(rn) << 3) | lo(rd)
+    }
+
+    /// `LDRB rd, [rn, #imm5]`
+    pub fn ldrb_imm(rd: Reg, rn: Reg, imm5: u8) -> u16 {
+        0x7800 | ((imm5 as u16 & 0x1F) << 6) | (lo(rn) << 3) | lo(rd)
+    }
+
+    /// `STRB rd, [rn, #imm5]`
+    pub fn strb_imm(rd: Reg, rn: Reg, imm5: u8) -> u16 {
+        0x7000 | ((imm5 as u16 & 0x1F) << 6) | (lo(rn) << 3) | lo(rd)
+    }
+
+    /// `LDR rd, [rn, rm]`
+    pub fn ldr_reg(rd: Reg, rn: Reg, rm: Reg) -> u16 {
+        0x5800 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rd)
+    }
+
+    /// `STR rd, [rn, rm]`
+    pub fn str_reg(rd: Reg, rn: Reg, rm: Reg) -> u16 {
+        0x5000 | (lo(rm) << 6) | (lo(rn) << 3) | lo(rd)
+    }
+
+    /// `PUSH {regs8, lr?}` — `regs8` is a bitmask of R0–R7.
+    pub fn push(regs8: u8, lr: bool) -> u16 {
+        0xB400 | ((lr as u16) << 8) | regs8 as u16
+    }
+
+    /// `POP {regs8, pc?}` — `regs8` is a bitmask of R0–R7.
+    pub fn pop(regs8: u8, pc: bool) -> u16 {
+        0xBC00 | ((pc as u16) << 8) | regs8 as u16
+    }
+
+    /// `B<cond> .+offset` — `offset` is bytes from PC+4, even, ±256.
+    pub fn b_cond(cond: crate::cond::Cond, offset: i32) -> u16 {
+        debug_assert!(offset % 2 == 0 && (-256..256).contains(&offset));
+        0xD000 | ((cond.bits() as u16) << 8) | (((offset / 2) as u16) & 0xFF)
+    }
+
+    /// `B .+offset` — bytes from PC+4, even, ±2 KiB.
+    pub fn b(offset: i32) -> u16 {
+        debug_assert!(offset % 2 == 0 && (-2048..2048).contains(&offset));
+        0xE000 | (((offset / 2) as u16) & 0x7FF)
+    }
+
+    /// `BL .+offset` — returns the (prefix, suffix) halfword pair.
+    pub fn bl(offset: i32) -> (u16, u16) {
+        debug_assert!(offset % 2 == 0);
+        let hi = (offset >> 12) & 0x7FF;
+        let lo = (offset >> 1) & 0x7FF;
+        (0xF000 | hi as u16, 0xF800 | lo as u16)
+    }
+
+    /// `SVC #imm8`
+    pub fn svc(imm8: u8) -> u16 {
+        0xDF00 | imm8 as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Cpu;
+    use crate::exec::step;
+
+    fn decode_one(hw: u16) -> Instr {
+        let mut mem = Memory::new();
+        mem.write_u16(0x100, hw);
+        decode_thumb(&mem, 0x100).expect("decode").0
+    }
+
+    #[test]
+    fn movs_imm() {
+        let i = decode_one(enc::mov_imm(Reg::R3, 42));
+        match i {
+            Instr::Dp {
+                op: DpOp::Mov,
+                s: true,
+                rd: Reg::R3,
+                op2: Op2::Imm { imm8: 42, rot4: 0 },
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn add_sub_forms() {
+        match decode_one(enc::add_reg(Reg::R0, Reg::R1, Reg::R2)) {
+            Instr::Dp {
+                op: DpOp::Add,
+                s: true,
+                rd: Reg::R0,
+                rn: Reg::R1,
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+        match decode_one(enc::sub_imm8(Reg::R5, 9)) {
+            Instr::Dp {
+                op: DpOp::Sub,
+                rd: Reg::R5,
+                rn: Reg::R5,
+                op2: Op2::Imm { imm8: 9, rot4: 0 },
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn alu_neg_and_mul() {
+        match decode_one(enc::alu(0x9, Reg::R0, Reg::R1)) {
+            Instr::Dp {
+                op: DpOp::Rsb,
+                rd: Reg::R0,
+                rn: Reg::R1,
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+        match decode_one(enc::alu(0xD, Reg::R2, Reg::R3)) {
+            Instr::Mul {
+                rd: Reg::R2,
+                rm: Reg::R3,
+                rs: Reg::R2,
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_forms() {
+        match decode_one(enc::ldr_imm(Reg::R1, Reg::R2, 3)) {
+            Instr::Mem {
+                load: true,
+                size: MemSize::Word,
+                rd: Reg::R1,
+                rn: Reg::R2,
+                offset: MemOffset::Imm(12),
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+        match decode_one(enc::strb_imm(Reg::R1, Reg::R2, 5)) {
+            Instr::Mem {
+                load: false,
+                size: MemSize::Byte,
+                offset: MemOffset::Imm(5),
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+        match decode_one(enc::str_reg(Reg::R0, Reg::R1, Reg::R2)) {
+            Instr::Mem {
+                load: false,
+                offset: MemOffset::Reg { rm: Reg::R2, .. },
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_pop_lists() {
+        match decode_one(enc::push(0b0001_0000, true)) {
+            Instr::MemMulti {
+                load: false, regs, ..
+            } => {
+                assert!(regs.contains(Reg::R4));
+                assert!(regs.contains(Reg::LR));
+            }
+            other => panic!("{other:?}"),
+        }
+        match decode_one(enc::pop(0b0001_0000, true)) {
+            Instr::MemMulti {
+                load: true, regs, ..
+            } => {
+                assert!(regs.contains(Reg::R4));
+                assert!(regs.contains(Reg::PC));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn branches() {
+        match decode_one(enc::b(-4)) {
+            Instr::Branch {
+                cond: Cond::Al,
+                link: false,
+                offset: -4,
+            } => {}
+            other => panic!("{other:?}"),
+        }
+        match decode_one(enc::b_cond(Cond::Ne, 10)) {
+            Instr::Branch {
+                cond: Cond::Ne,
+                link: false,
+                offset: 10,
+            } => {}
+            other => panic!("{other:?}"),
+        }
+        // BL pair.
+        let (p, s) = enc::bl(0x1234 & !1);
+        let mut mem = Memory::new();
+        mem.write_u16(0x100, p);
+        mem.write_u16(0x102, s);
+        let (i, size) = decode_thumb(&mem, 0x100).unwrap();
+        assert_eq!(size, 4);
+        match i {
+            Instr::Branch {
+                link: true, offset, ..
+            } => assert_eq!(offset, 0x1234),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn thumb_program_executes() {
+        // MOVS r0, #20 ; MOVS r1, #22 ; ADDS r0, r0, r1 ; BX lr
+        let mut mem = Memory::new();
+        let code = [
+            enc::mov_imm(Reg::R0, 20),
+            enc::mov_imm(Reg::R1, 22),
+            enc::add_reg(Reg::R0, Reg::R0, Reg::R1),
+            enc::bx(Reg::LR),
+        ];
+        for (i, hw) in code.iter().enumerate() {
+            mem.write_u16(0x100 + 2 * i as u32, *hw);
+        }
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0x101); // bit 0 selects Thumb
+        assert!(cpu.thumb);
+        cpu.regs[14] = 0xFFFF_FF00; // sentinel, ARM state
+        while cpu.pc() != 0xFFFF_FF00 {
+            step(&mut cpu, &mut mem).unwrap();
+        }
+        assert!(!cpu.thumb); // BX to an even address switched to ARM
+        assert_eq!(cpu.regs[0], 42);
+    }
+
+    #[test]
+    fn thumb_bl_links_with_thumb_bit() {
+        // BL .+4 then the callee does BX LR.
+        let mut mem = Memory::new();
+        let (p, s) = enc::bl(4);
+        mem.write_u16(0x100, p);
+        mem.write_u16(0x102, s);
+        mem.write_u16(0x104, enc::mov_imm(Reg::R0, 9)); // skipped
+        mem.write_u16(0x108, enc::mov_imm(Reg::R1, 7)); // BL target: 0x100+4+4
+        mem.write_u16(0x10A, enc::bx(Reg::LR));
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0x101);
+        let eff = step(&mut cpu, &mut mem).unwrap();
+        assert_eq!(
+            eff.branch.unwrap().to,
+            0x108,
+            "BL target = pc + 4 + offset"
+        );
+        assert_eq!(cpu.regs[14], 0x104 | 1, "LR holds return address | thumb");
+        step(&mut cpu, &mut mem).unwrap(); // movs r1, #7
+        let eff = step(&mut cpu, &mut mem).unwrap(); // bx lr
+        assert!(eff.branch.unwrap().to == 0x104);
+        assert!(cpu.thumb);
+        assert_eq!(cpu.regs[1], 7);
+    }
+
+    #[test]
+    fn pc_relative_load_is_aligned() {
+        // LDR r0, [pc, #0] at 0x102: base = (0x102 + 4) & !3 = 0x104.
+        let mut mem = Memory::new();
+        mem.write_u16(0x100, enc::mov_imm(Reg::R7, 0));
+        mem.write_u16(0x102, 0x4800); // LDR r0, [pc, #0]
+        mem.write_u32(0x108, 0xCAFE_F00D); // literal pool at (0x106&!3)+...
+        mem.write_u32(0x104, 0xCAFE_F00D);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0x101);
+        step(&mut cpu, &mut mem).unwrap();
+        let eff = step(&mut cpu, &mut mem).unwrap();
+        assert_eq!(eff.addr, Some(0x104));
+        assert_eq!(cpu.regs[0], 0xCAFE_F00D);
+    }
+}

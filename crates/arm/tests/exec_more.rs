@@ -1,0 +1,434 @@
+//! Additional executor coverage: addressing modes, sign extension,
+//! register-specified shifts, condition codes, and Thumb formats not
+//! exercised by the unit tests.
+
+use ndroid_arm::cond::Cond;
+use ndroid_arm::encode::encode;
+use ndroid_arm::insn::{AddrMode4, DpOp, Instr, MemOffset, MemSize, Op2, ShiftKind};
+use ndroid_arm::reg::{Reg, RegList};
+use ndroid_arm::thumb::enc;
+use ndroid_arm::{step, Cpu, Memory};
+
+fn exec_one(instr: Instr, setup: impl FnOnce(&mut Cpu, &mut Memory)) -> (Cpu, Memory) {
+    let mut cpu = Cpu::new();
+    let mut mem = Memory::new();
+    cpu.set_pc(0x1000);
+    setup(&mut cpu, &mut mem);
+    mem.write_u32(0x1000, encode(&instr).unwrap());
+    step(&mut cpu, &mut mem).unwrap();
+    (cpu, mem)
+}
+
+#[test]
+fn post_indexed_load_writes_back() {
+    // LDR r0, [r1], #4
+    let (cpu, _) = exec_one(
+        Instr::Mem {
+            cond: Cond::Al,
+            load: true,
+            size: MemSize::Word,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset: MemOffset::Imm(4),
+            pre: false,
+            up: true,
+            writeback: false,
+        },
+        |cpu, mem| {
+            cpu.regs[1] = 0x5000;
+            mem.write_u32(0x5000, 0xAA55);
+        },
+    );
+    assert_eq!(cpu.regs[0], 0xAA55, "loads from the ORIGINAL address");
+    assert_eq!(cpu.regs[1], 0x5004, "base advanced after");
+}
+
+#[test]
+fn pre_indexed_store_with_writeback() {
+    // STR r0, [r1, #-8]!
+    let (cpu, mem) = exec_one(
+        Instr::Mem {
+            cond: Cond::Al,
+            load: false,
+            size: MemSize::Word,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset: MemOffset::Imm(8),
+            pre: true,
+            up: false,
+            writeback: true,
+        },
+        |cpu, _| {
+            cpu.regs[0] = 0x1234;
+            cpu.regs[1] = 0x5010;
+        },
+    );
+    assert_eq!(mem.read_u32(0x5008), 0x1234);
+    assert_eq!(cpu.regs[1], 0x5008);
+}
+
+#[test]
+fn signed_loads_extend() {
+    let (cpu, _) = exec_one(
+        Instr::Mem {
+            cond: Cond::Al,
+            load: true,
+            size: MemSize::SignedByte,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset: MemOffset::Imm(0),
+            pre: true,
+            up: true,
+            writeback: false,
+        },
+        |cpu, mem| {
+            cpu.regs[1] = 0x5000;
+            mem.write_u8(0x5000, 0x80);
+        },
+    );
+    assert_eq!(cpu.regs[0] as i32, -128);
+
+    let (cpu, _) = exec_one(
+        Instr::Mem {
+            cond: Cond::Al,
+            load: true,
+            size: MemSize::SignedHalf,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset: MemOffset::Imm(0),
+            pre: true,
+            up: true,
+            writeback: false,
+        },
+        |cpu, mem| {
+            cpu.regs[1] = 0x5000;
+            mem.write_u16(0x5000, 0x8001);
+        },
+    );
+    assert_eq!(cpu.regs[0] as i32, -32767);
+}
+
+#[test]
+fn register_offset_with_shift() {
+    // LDR r0, [r1, r2, LSL #2]
+    let (cpu, _) = exec_one(
+        Instr::Mem {
+            cond: Cond::Al,
+            load: true,
+            size: MemSize::Word,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset: MemOffset::Reg {
+                rm: Reg::R2,
+                kind: ShiftKind::Lsl,
+                amount: 2,
+            },
+            pre: true,
+            up: true,
+            writeback: false,
+        },
+        |cpu, mem| {
+            cpu.regs[1] = 0x5000;
+            cpu.regs[2] = 3;
+            mem.write_u32(0x500C, 0xFEED);
+        },
+    );
+    assert_eq!(cpu.regs[0], 0xFEED);
+}
+
+#[test]
+fn shift_by_register_amount() {
+    // MOV r0, r1, LSL r2
+    let (cpu, _) = exec_one(
+        Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Mov,
+            s: false,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            op2: Op2::RegShiftReg {
+                rm: Reg::R1,
+                kind: ShiftKind::Lsl,
+                rs: Reg::R2,
+            },
+        },
+        |cpu, _| {
+            cpu.regs[1] = 1;
+            cpu.regs[2] = 12;
+        },
+    );
+    assert_eq!(cpu.regs[0], 1 << 12);
+}
+
+#[test]
+fn asr_preserves_sign() {
+    let (cpu, _) = exec_one(
+        Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Mov,
+            s: false,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            op2: Op2::RegShiftImm {
+                rm: Reg::R1,
+                kind: ShiftKind::Asr,
+                amount: 4,
+            },
+        },
+        |cpu, _| {
+            cpu.regs[1] = (-256i32) as u32;
+        },
+    );
+    assert_eq!(cpu.regs[0] as i32, -16);
+}
+
+#[test]
+fn every_condition_code_honored() {
+    // For each cond, run `MOV<cond> r0, #1` under flags where it
+    // passes and where it fails.
+    let conds = [
+        (Cond::Eq, (false, true, false, false), (false, false, false, false)),
+        (Cond::Ne, (false, false, false, false), (false, true, false, false)),
+        (Cond::Cs, (false, false, true, false), (false, false, false, false)),
+        (Cond::Cc, (false, false, false, false), (false, false, true, false)),
+        (Cond::Mi, (true, false, false, false), (false, false, false, false)),
+        (Cond::Pl, (false, false, false, false), (true, false, false, false)),
+        (Cond::Vs, (false, false, false, true), (false, false, false, false)),
+        (Cond::Vc, (false, false, false, false), (false, false, false, true)),
+        (Cond::Hi, (false, false, true, false), (false, true, true, false)),
+        (Cond::Ls, (false, true, false, false), (false, false, true, false)),
+        (Cond::Ge, (true, false, false, true), (true, false, false, false)),
+        (Cond::Lt, (true, false, false, false), (true, false, false, true)),
+        (Cond::Gt, (false, false, false, false), (false, true, false, false)),
+        (Cond::Le, (false, true, false, false), (false, false, false, false)),
+    ];
+    for (cond, pass, fail) in conds {
+        for (flags, expect) in [(pass, 1u32), (fail, 0u32)] {
+            let instr = Instr::Dp {
+                cond,
+                op: DpOp::Mov,
+                s: false,
+                rd: Reg::R0,
+                rn: Reg::R0,
+                op2: Op2::encode_imm(1).unwrap(),
+            };
+            let (cpu, _) = exec_one(instr, |cpu, _| {
+                (cpu.n, cpu.z, cpu.c, cpu.v) = flags;
+            });
+            assert_eq!(cpu.regs[0], expect, "{cond:?} flags {flags:?}");
+        }
+    }
+}
+
+#[test]
+fn ldm_modes_address_correctly() {
+    for (mode, base, expected_lowest) in [
+        (AddrMode4::Ia, 0x5000u32, 0x5000u32),
+        (AddrMode4::Ib, 0x5000, 0x5004),
+        (AddrMode4::Da, 0x5000, 0x4FFC),
+        (AddrMode4::Db, 0x5000, 0x4FF8),
+    ] {
+        let (cpu, _) = exec_one(
+            Instr::MemMulti {
+                cond: Cond::Al,
+                load: true,
+                rn: Reg::R1,
+                mode,
+                writeback: false,
+                regs: RegList::of(&[Reg::R2, Reg::R3]),
+            },
+            |cpu, mem| {
+                cpu.regs[1] = base;
+                mem.write_u32(expected_lowest, 0x11);
+                mem.write_u32(expected_lowest + 4, 0x22);
+            },
+        );
+        assert_eq!(cpu.regs[2], 0x11, "{mode:?}");
+        assert_eq!(cpu.regs[3], 0x22, "{mode:?}");
+    }
+}
+
+#[test]
+fn mla_accumulates() {
+    let (cpu, _) = exec_one(
+        Instr::Mul {
+            cond: Cond::Al,
+            s: false,
+            rd: Reg::R0,
+            rm: Reg::R1,
+            rs: Reg::R2,
+            acc: Some(Reg::R3),
+        },
+        |cpu, _| {
+            cpu.regs[1] = 6;
+            cpu.regs[2] = 7;
+            cpu.regs[3] = 100;
+        },
+    );
+    assert_eq!(cpu.regs[0], 142);
+}
+
+// --- Thumb formats ------------------------------------------------------
+
+fn thumb_run(halfwords: &[u16], setup: impl FnOnce(&mut Cpu, &mut Memory)) -> (Cpu, Memory) {
+    let mut cpu = Cpu::new();
+    let mut mem = Memory::new();
+    for (i, hw) in halfwords.iter().enumerate() {
+        mem.write_u16(0x100 + 2 * i as u32, *hw);
+    }
+    cpu.set_pc(0x101);
+    cpu.regs[13] = 0x8000;
+    cpu.regs[14] = 0xFFFF_FF00;
+    setup(&mut cpu, &mut mem);
+    let mut steps = 0;
+    while cpu.pc() != 0xFFFF_FF00 {
+        step(&mut cpu, &mut mem).unwrap();
+        steps += 1;
+        assert!(steps < 10_000, "runaway thumb program");
+    }
+    (cpu, mem)
+}
+
+#[test]
+fn thumb_sp_relative_load_store() {
+    // str r0, [sp, #4] ; ldr r1, [sp, #4] ; bx lr
+    let (cpu, mem) = thumb_run(
+        &[
+            0x9001, // STR r0, [sp, #4] => 1001 0 000 00000001
+            0x9901,     // LDR r1, [sp, #4]
+            enc::bx(Reg::LR),
+        ],
+        |cpu, _| {
+            cpu.regs[0] = 0xCAFE;
+        },
+    );
+    assert_eq!(mem.read_u32(0x8004), 0xCAFE);
+    assert_eq!(cpu.regs[1], 0xCAFE);
+}
+
+#[test]
+fn thumb_add_sub_sp() {
+    // sub sp, #16 ; add sp, #8 ; bx lr
+    let (cpu, _) = thumb_run(&[0xB084, 0xB002, enc::bx(Reg::LR)], |_, _| {});
+    assert_eq!(cpu.regs[13], 0x8000 - 16 + 8);
+}
+
+#[test]
+fn thumb_hi_register_add() {
+    // add r8, r0 ... use mov_hi + add hi form: ADD r1, r8
+    // 0x4441 = 0100 0100 0 1 000 001: ADD r1, r8
+    let (cpu, _) = thumb_run(&[0x4441, enc::bx(Reg::LR)], |cpu, _| {
+        cpu.regs[1] = 30;
+        cpu.regs[8] = 12;
+    });
+    assert_eq!(cpu.regs[1], 42);
+}
+
+#[test]
+fn thumb_ldmia_stmia() {
+    // stmia r0!, {r1, r2} ; ldmia r3!, {r4, r5} ; bx lr
+    let (cpu, mem) = thumb_run(
+        &[
+            0xC006, // STMIA r0!, {r1, r2}
+            0xCB30, // LDMIA r3!, {r4, r5}
+            enc::bx(Reg::LR),
+        ],
+        |cpu, _| {
+            cpu.regs[0] = 0x6000;
+            cpu.regs[1] = 7;
+            cpu.regs[2] = 9;
+            cpu.regs[3] = 0x6000;
+        },
+    );
+    assert_eq!(mem.read_u32(0x6000), 7);
+    assert_eq!(mem.read_u32(0x6004), 9);
+    assert_eq!(cpu.regs[0], 0x6008, "stmia writeback");
+    assert_eq!(cpu.regs[4], 7);
+    assert_eq!(cpu.regs[5], 9);
+    assert_eq!(cpu.regs[3], 0x6008, "ldmia writeback");
+}
+
+#[test]
+fn thumb_load_store_halfword() {
+    // strh r0, [r1, #2] ; ldrh r2, [r1, #2] ; bx lr
+    // fmt 10: 1000 0 00001 001 000 = 0x8048? compute: STRH imm5=1 rn=1 rd=0:
+    // 1000_0_00001_001_000 = 0x8048
+    let (cpu, mem) = thumb_run(&[0x8048, 0x884A, enc::bx(Reg::LR)], |cpu, _| {
+        cpu.regs[0] = 0xBEEF;
+        cpu.regs[1] = 0x6000;
+    });
+    assert_eq!(mem.read_u16(0x6002), 0xBEEF);
+    assert_eq!(cpu.regs[2], 0xBEEF);
+}
+
+#[test]
+fn thumb_conditional_skip() {
+    // cmp r0, #5 ; beq +2 (skip movs r1) ; movs r1, #9 ; bx lr
+    let (cpu, _) = thumb_run(
+        &[
+            enc::cmp_imm(Reg::R0, 5),
+            enc::b_cond(Cond::Eq, 0), // target = pc+4 = the bx, skipping the movs
+            enc::mov_imm(Reg::R1, 9),
+            enc::bx(Reg::LR),
+        ],
+        |cpu, _| {
+            cpu.regs[0] = 5;
+        },
+    );
+    assert_eq!(cpu.regs[1], 0, "movs was skipped");
+}
+
+#[test]
+fn vcmp_vmrs_sets_flags_for_branching() {
+    use ndroid_arm::insn::{VfpOp, VfpPrec};
+    // d0 = 2.0, d1 = 3.0; VCMP d0, d1; VMRS; MOVLT r0, #1
+    let mut cpu = Cpu::new();
+    let mut mem = Memory::new();
+    cpu.set_pc(0x1000);
+    cpu.write_d(0, 2.0);
+    cpu.write_d(1, 3.0);
+    let vcmp = Instr::Vfp {
+        cond: Cond::Al,
+        op: VfpOp::Cmp,
+        prec: VfpPrec::F64,
+        fd: 0,
+        fn_: 0,
+        fm: 1,
+    };
+    let vmrs = Instr::VfpMrs { cond: Cond::Al };
+    let movlt = Instr::Dp {
+        cond: Cond::Lt,
+        op: DpOp::Mov,
+        s: false,
+        rd: Reg::R0,
+        rn: Reg::R0,
+        op2: Op2::encode_imm(1).unwrap(),
+    };
+    mem.write_u32(0x1000, encode(&vcmp).unwrap());
+    mem.write_u32(0x1004, encode(&vmrs).unwrap());
+    mem.write_u32(0x1008, encode(&movlt).unwrap());
+    step(&mut cpu, &mut mem).unwrap();
+    step(&mut cpu, &mut mem).unwrap();
+    step(&mut cpu, &mut mem).unwrap();
+    assert_eq!(cpu.regs[0], 1, "2.0 < 3.0 taken");
+}
+
+#[test]
+fn vmov_register_copy() {
+    use ndroid_arm::insn::{VfpOp, VfpPrec};
+    let mut cpu = Cpu::new();
+    let mut mem = Memory::new();
+    cpu.set_pc(0x1000);
+    cpu.write_s(3, 9.5);
+    let vmov = Instr::Vfp {
+        cond: Cond::Al,
+        op: VfpOp::Mov,
+        prec: VfpPrec::F32,
+        fd: 7,
+        fn_: 0,
+        fm: 3,
+    };
+    mem.write_u32(0x1000, encode(&vmov).unwrap());
+    step(&mut cpu, &mut mem).unwrap();
+    assert_eq!(cpu.read_s(7), 9.5);
+}

@@ -1,0 +1,216 @@
+//! Property-based tests: every instruction the assembler can emit must
+//! decode back to itself, and executor arithmetic must match Rust's
+//! wrapping semantics.
+
+use ndroid_arm::cond::Cond;
+use ndroid_arm::decode::decode_arm;
+use ndroid_arm::encode::encode;
+use ndroid_arm::insn::{AddrMode4, DpOp, Instr, MemOffset, MemSize, Op2, ShiftKind};
+use ndroid_arm::reg::{Reg, RegList};
+use ndroid_arm::{Cpu, Memory};
+use proptest::prelude::*;
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0u32..15).prop_map(Cond::from_bits)
+}
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u32..16).prop_map(Reg::from_bits)
+}
+
+fn arb_shift_kind() -> impl Strategy<Value = ShiftKind> {
+    (0u32..4).prop_map(ShiftKind::from_bits)
+}
+
+fn arb_dp_op() -> impl Strategy<Value = DpOp> {
+    (0u32..16).prop_map(DpOp::from_bits)
+}
+
+fn arb_op2() -> impl Strategy<Value = Op2> {
+    prop_oneof![
+        (any::<u8>(), 0u8..16).prop_map(|(imm8, rot4)| Op2::Imm { imm8, rot4 }),
+        (arb_reg(), arb_shift_kind(), 0u8..32)
+            .prop_map(|(rm, kind, amount)| Op2::RegShiftImm { rm, kind, amount }),
+        (arb_reg(), arb_shift_kind(), arb_reg())
+            .prop_map(|(rm, kind, rs)| Op2::RegShiftReg { rm, kind, rs }),
+    ]
+}
+
+fn arb_dp() -> impl Strategy<Value = Instr> {
+    (arb_cond(), arb_dp_op(), any::<bool>(), arb_reg(), arb_reg(), arb_op2()).prop_map(
+        |(cond, op, s, rd, rn, op2)| Instr::Dp {
+            cond,
+            op,
+            s: s || op.is_compare(),
+            rd: if op.is_compare() { Reg::R0 } else { rd },
+            rn: if op.uses_rn() { rn } else { Reg::R0 },
+            op2,
+        },
+    )
+}
+
+fn arb_mem() -> impl Strategy<Value = Instr> {
+    (
+        arb_cond(),
+        any::<bool>(),
+        prop_oneof![
+            Just(MemSize::Word),
+            Just(MemSize::Byte),
+            Just(MemSize::Half),
+        ],
+        arb_reg(),
+        arb_reg(),
+        prop_oneof![
+            (0u16..0x100).prop_map(MemOffset::Imm),
+            (arb_reg(), 0u8..1).prop_map(|(rm, _)| MemOffset::Reg {
+                rm,
+                kind: ShiftKind::Lsl,
+                amount: 0
+            }),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(cond, load, size, rd, rn, offset, pre, up, wb)| Instr::Mem {
+                cond,
+                load,
+                size,
+                rd,
+                rn,
+                offset,
+                pre,
+                up,
+                writeback: wb && pre,
+            },
+        )
+}
+
+fn arb_mem_multi() -> impl Strategy<Value = Instr> {
+    (
+        arb_cond(),
+        any::<bool>(),
+        arb_reg(),
+        prop_oneof![
+            Just(AddrMode4::Ia),
+            Just(AddrMode4::Ib),
+            Just(AddrMode4::Da),
+            Just(AddrMode4::Db),
+        ],
+        any::<bool>(),
+        1u16..=0xFFFF,
+    )
+        .prop_map(|(cond, load, rn, mode, wb, regs)| Instr::MemMulti {
+            cond,
+            load,
+            rn,
+            mode,
+            writeback: wb,
+            regs: RegList(regs),
+        })
+}
+
+proptest! {
+    #[test]
+    fn dp_roundtrips(instr in arb_dp()) {
+        let word = encode(&instr).unwrap();
+        let back = decode_arm(word, 0).unwrap();
+        prop_assert_eq!(back, instr);
+    }
+
+    #[test]
+    fn mem_roundtrips(instr in arb_mem()) {
+        let word = encode(&instr).unwrap();
+        let back = decode_arm(word, 0).unwrap();
+        prop_assert_eq!(back, instr);
+    }
+
+    #[test]
+    fn mem_multi_roundtrips(instr in arb_mem_multi()) {
+        let word = encode(&instr).unwrap();
+        let back = decode_arm(word, 0).unwrap();
+        prop_assert_eq!(back, instr);
+    }
+
+    #[test]
+    fn branch_roundtrips(cond in arb_cond(), link in any::<bool>(), words in -(1i32 << 23)..(1i32 << 23)) {
+        let instr = Instr::Branch { cond, link, offset: words * 4 };
+        let word = encode(&instr).unwrap();
+        prop_assert_eq!(decode_arm(word, 0).unwrap(), instr);
+    }
+
+    /// ADD executes as wrapping 32-bit addition for all register values.
+    #[test]
+    fn add_matches_wrapping(a in any::<u32>(), b in any::<u32>()) {
+        let mut mem = Memory::new();
+        let word = encode(&Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Add,
+            s: false,
+            rd: Reg::R2,
+            rn: Reg::R0,
+            op2: Op2::reg(Reg::R1),
+        }).unwrap();
+        mem.write_u32(0x1000, word);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0x1000);
+        cpu.regs[0] = a;
+        cpu.regs[1] = b;
+        ndroid_arm::step(&mut cpu, &mut mem).unwrap();
+        prop_assert_eq!(cpu.regs[2], a.wrapping_add(b));
+    }
+
+    /// CMP then a conditional branch agree with Rust's signed comparison.
+    #[test]
+    fn cmp_flags_match_signed_compare(a in any::<i32>(), b in any::<i32>()) {
+        let mut mem = Memory::new();
+        let word = encode(&Instr::Dp {
+            cond: Cond::Al,
+            op: DpOp::Cmp,
+            s: true,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            op2: Op2::reg(Reg::R1),
+        }).unwrap();
+        mem.write_u32(0x1000, word);
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0x1000);
+        cpu.regs[0] = a as u32;
+        cpu.regs[1] = b as u32;
+        ndroid_arm::step(&mut cpu, &mut mem).unwrap();
+        prop_assert_eq!(cpu.cond_passes(Cond::Lt), a < b);
+        prop_assert_eq!(cpu.cond_passes(Cond::Ge), a >= b);
+        prop_assert_eq!(cpu.cond_passes(Cond::Eq), a == b);
+        prop_assert_eq!(cpu.cond_passes(Cond::Gt), a > b);
+        prop_assert_eq!(cpu.cond_passes(Cond::Le), a <= b);
+        // Unsigned comparisons too.
+        prop_assert_eq!(cpu.cond_passes(Cond::Cs), (a as u32) >= (b as u32));
+        prop_assert_eq!(cpu.cond_passes(Cond::Cc), (a as u32) < (b as u32));
+        prop_assert_eq!(cpu.cond_passes(Cond::Hi), (a as u32) > (b as u32));
+        prop_assert_eq!(cpu.cond_passes(Cond::Ls), (a as u32) <= (b as u32));
+    }
+
+    /// Store-then-load through guest memory is the identity.
+    #[test]
+    fn store_load_identity(value in any::<u32>(), addr in 0x2000u32..0xFFFF_0000) {
+        let mut mem = Memory::new();
+        mem.write_u32(addr, value);
+        prop_assert_eq!(mem.read_u32(addr), value);
+    }
+
+    /// Decoding never panics on arbitrary words.
+    #[test]
+    fn decode_total(word in any::<u32>()) {
+        let _ = decode_arm(word, 0);
+    }
+
+    /// Thumb decoding never panics on arbitrary halfwords.
+    #[test]
+    fn thumb_decode_total(hw in any::<u16>(), hw2 in any::<u16>()) {
+        let mut mem = Memory::new();
+        mem.write_u16(0x100, hw);
+        mem.write_u16(0x102, hw2);
+        let _ = ndroid_arm::thumb::decode_thumb(&mem, 0x100);
+    }
+}

@@ -1,0 +1,30 @@
+//! Criterion benches: per-kernel wall time under each analysis mode
+//! (the statistically rigorous companion to `exp_cfbench`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndroid_cfbench::all_kernels;
+use ndroid_core::Mode;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cfbench");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(700));
+    const ITERS: u32 = 2_000;
+    for kernel in all_kernels() {
+        for mode in [Mode::Vanilla, Mode::TaintDroid, Mode::NDroid, Mode::DroidScopeLike] {
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name, mode),
+                &mode,
+                |b, &mode| {
+                    let mut sys = kernel.boot(mode);
+                    b.iter(|| kernel.run(&mut sys, ITERS));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

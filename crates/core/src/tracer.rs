@@ -1,0 +1,532 @@
+//! The instruction tracer: Table V's taint-propagation logic for
+//! ARM/Thumb instructions.
+//!
+//! "By instrumenting third-party native libraries, the instruction
+//! tracer monitors each ARM/Thumb instruction to determine how the
+//! taint propagates. … Currently, NDROID only supports arithmetic and
+//! copy operations" (§V-C). The rules implemented here are exactly the
+//! rows of Table V:
+//!
+//! | Format                      | Propagation                            |
+//! |-----------------------------|----------------------------------------|
+//! | `binary-op Rd, Rn, Rm`      | `t(Rd) = t(Rn) OR t(Rm)`               |
+//! | `binary-op Rd, Rm, #imm`    | `t(Rd) = t(Rm)`                        |
+//! | `unary Rd, Rm`              | `t(Rd) = t(Rm)`                        |
+//! | `mov Rd, #imm`              | `t(Rd) = TAINT_CLEAR`                  |
+//! | `mov Rd, Rm`                | `t(Rd) = t(Rm)`                        |
+//! | `LDR* Rd, Rn, #imm`         | `t(Rd) = t(M[addr]) OR t(Rn)`          |
+//! | `LDM/POP`                   | per-register `t(Ri) = t(M[..]) OR t(Rn)` |
+//! | `STR* Rd, Rn, #imm`         | `t(M[addr]) = t(Rd)`                   |
+//! | `STM/PUSH`                  | per-register `t(M[..]) = t(Ri)`        |
+//!
+//! Note the pointer rule: "if the tainted input is the address of an
+//! untainted value, the taint will be propagated to it" — loads union
+//! the base register's taint into the result.
+
+use ndroid_arm::exec::Effect;
+use ndroid_arm::insn::{Instr, MemOffset, Op2, VfpOp, VfpPrec};
+use ndroid_arm::reg::Reg;
+use ndroid_dvm::Taint;
+use ndroid_emu::shadow::ShadowState;
+use std::collections::HashMap;
+
+/// Propagates taint for one executed instruction.
+///
+/// Must be called *after* the executor ran (so [`Effect::addr`] holds
+/// the effective address) but relies only on shadow state for taints,
+/// which the executor never touches.
+pub fn propagate(shadow: &mut ShadowState, effect: &Effect) {
+    if !effect.executed {
+        return;
+    }
+    shadow.ops += 1;
+    match effect.instr {
+        Instr::Dp { op, rd, rn, op2, .. } => {
+            if op.is_compare() {
+                return; // flags only; no control-flow taint (§VII)
+            }
+            let mut t = Taint::CLEAR;
+            if op.uses_rn() {
+                t |= shadow.regs[rn.index()];
+            }
+            match op2 {
+                Op2::Imm { .. } => {}
+                Op2::RegShiftImm { rm, .. } => t |= shadow.regs[rm.index()],
+                Op2::RegShiftReg { rm, rs, .. } => {
+                    t |= shadow.regs[rm.index()];
+                    t |= shadow.regs[rs.index()];
+                }
+            }
+            if rd != Reg::PC {
+                shadow.regs[rd.index()] = t;
+            }
+        }
+        Instr::Mul { rd, rm, rs, acc, .. } => {
+            let mut t = shadow.regs[rm.index()] | shadow.regs[rs.index()];
+            if let Some(ra) = acc {
+                t |= shadow.regs[ra.index()];
+            }
+            if rd != Reg::PC {
+                shadow.regs[rd.index()] = t;
+            }
+        }
+        Instr::Mem {
+            load,
+            size,
+            rd,
+            rn,
+            offset,
+            ..
+        } => {
+            let Some(addr) = effect.addr else { return };
+            let width = size.bytes();
+            if load {
+                // t(Rd) = t(M[addr]) OR t(Rn) — the address-taint rule.
+                let mut t = shadow.mem.range_taint(addr, width) | shadow.regs[rn.index()];
+                if let MemOffset::Reg { rm, .. } = offset {
+                    t |= shadow.regs[rm.index()];
+                }
+                if rd != Reg::PC {
+                    shadow.regs[rd.index()] = t;
+                }
+            } else {
+                // t(M[addr]) = t(Rd) — a SET, not a union.
+                shadow.mem.set_range(addr, width, shadow.regs[rd.index()]);
+            }
+        }
+        Instr::MemMulti {
+            load, rn, regs, ..
+        } => {
+            let Some(start) = effect.addr else { return };
+            let base_taint = shadow.regs[rn.index()];
+            for (i, r) in regs.iter().enumerate() {
+                let slot = start.wrapping_add(4 * i as u32);
+                if load {
+                    let t = shadow.mem.range_taint(slot, 4) | base_taint;
+                    if r != Reg::PC {
+                        shadow.regs[r.index()] = t;
+                    }
+                } else {
+                    shadow.mem.set_range(slot, 4, shadow.regs[r.index()]);
+                }
+            }
+        }
+        Instr::Branch { .. } | Instr::BranchExchange { .. } | Instr::Svc { .. } => {}
+        Instr::Vfp {
+            op,
+            prec,
+            fd,
+            fn_,
+            fm,
+            ..
+        } => {
+            if op == VfpOp::Cmp {
+                return;
+            }
+            let t = match prec {
+                VfpPrec::F32 => {
+                    let mut t = shadow.vfp[(fm & 31) as usize];
+                    if op != VfpOp::Mov {
+                        t |= shadow.vfp[(fn_ & 31) as usize];
+                    }
+                    t
+                }
+                VfpPrec::F64 => {
+                    let mut t = shadow.vfp[((fm & 15) * 2) as usize]
+                        | shadow.vfp[((fm & 15) * 2 + 1) as usize];
+                    if op != VfpOp::Mov {
+                        t |= shadow.vfp[((fn_ & 15) * 2) as usize]
+                            | shadow.vfp[((fn_ & 15) * 2 + 1) as usize];
+                    }
+                    t
+                }
+            };
+            match prec {
+                VfpPrec::F32 => shadow.vfp[(fd & 31) as usize] = t,
+                VfpPrec::F64 => {
+                    shadow.vfp[((fd & 15) * 2) as usize] = t;
+                    shadow.vfp[((fd & 15) * 2 + 1) as usize] = t;
+                }
+            }
+        }
+        Instr::VfpMem {
+            load, prec, fd, rn, ..
+        } => {
+            let Some(addr) = effect.addr else { return };
+            let width = if prec == VfpPrec::F64 { 8 } else { 4 };
+            if load {
+                let t = shadow.mem.range_taint(addr, width) | shadow.regs[rn.index()];
+                match prec {
+                    VfpPrec::F32 => shadow.vfp[(fd & 31) as usize] = t,
+                    VfpPrec::F64 => {
+                        shadow.vfp[((fd & 15) * 2) as usize] = t;
+                        shadow.vfp[((fd & 15) * 2 + 1) as usize] = t;
+                    }
+                }
+            } else {
+                let t = match prec {
+                    VfpPrec::F32 => shadow.vfp[(fd & 31) as usize],
+                    VfpPrec::F64 => {
+                        shadow.vfp[((fd & 15) * 2) as usize]
+                            | shadow.vfp[((fd & 15) * 2 + 1) as usize]
+                    }
+                };
+                shadow.mem.set_range(addr, width, t);
+            }
+        }
+        Instr::VfpMrs { .. } => {}
+    }
+}
+
+/// A cache of "does this PC need taint work" pre-decodings — the
+/// paper's hot-instruction cache ("NDroid caches hot instructions and
+/// the corresponding handlers", §V-C). With our pre-decoded [`Instr`]
+/// model the win is small; the cache exists so the ablation benchmark
+/// (`ablate_decode_cache`) can measure exactly that claim.
+#[derive(Debug, Default)]
+pub struct HandlerCache {
+    seen: HashMap<u32, bool>,
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+}
+
+impl HandlerCache {
+    /// An empty cache.
+    pub fn new() -> HandlerCache {
+        HandlerCache::default()
+    }
+
+    /// Looks up the cached classification for `pc`: `Some(relevant?)`
+    /// on a hit, `None` when the instruction must be identified.
+    pub fn lookup(&mut self, pc: u32) -> Option<bool> {
+        match self.seen.get(&pc) {
+            Some(hit) => {
+                self.hits += 1;
+                Some(*hit)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records the classification of the instruction at `pc`.
+    pub fn insert(&mut self, pc: u32, relevant: bool) {
+        self.seen.insert(pc, relevant);
+    }
+
+    /// Whether the instruction affects taint propagation at all.
+    pub fn classify(instr: &Instr) -> bool {
+        !matches!(
+            instr,
+            Instr::Branch { .. } | Instr::BranchExchange { .. } | Instr::Svc { .. }
+        )
+    }
+
+    /// Whether the instruction at `pc` affects taint (cached) — the
+    /// combined lookup/insert convenience.
+    pub fn needs_taint_work(&mut self, pc: u32, instr: &Instr) -> bool {
+        match self.lookup(pc) {
+            Some(hit) => hit,
+            None => {
+                let relevant = HandlerCache::classify(instr);
+                self.insert(pc, relevant);
+                relevant
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndroid_arm::cond::Cond;
+    use ndroid_arm::insn::{AddrMode4, DpOp, MemSize, ShiftKind};
+    use ndroid_arm::reg::RegList;
+
+    fn eff(instr: Instr, addr: Option<u32>) -> Effect {
+        Effect {
+            instr,
+            pc: 0x1000_0000,
+            size: 4,
+            executed: true,
+            branch: None,
+            addr,
+            svc: None,
+        }
+    }
+
+    fn dp(op: DpOp, rd: Reg, rn: Reg, op2: Op2) -> Instr {
+        Instr::Dp {
+            cond: Cond::Al,
+            op,
+            s: false,
+            rd,
+            rn,
+            op2,
+        }
+    }
+
+    #[test]
+    fn binary_op_unions_taints() {
+        let mut sh = ShadowState::new();
+        sh.regs[1] = Taint::IMEI;
+        sh.regs[2] = Taint::SMS;
+        propagate(
+            &mut sh,
+            &eff(dp(DpOp::Add, Reg::R0, Reg::R1, Op2::reg(Reg::R2)), None),
+        );
+        assert_eq!(sh.regs[0], Taint::IMEI | Taint::SMS);
+    }
+
+    #[test]
+    fn binary_op_imm_copies_rn_taint() {
+        let mut sh = ShadowState::new();
+        sh.regs[1] = Taint::CONTACTS;
+        propagate(
+            &mut sh,
+            &eff(
+                dp(DpOp::Add, Reg::R0, Reg::R1, Op2::encode_imm(4).unwrap()),
+                None,
+            ),
+        );
+        assert_eq!(sh.regs[0], Taint::CONTACTS);
+    }
+
+    #[test]
+    fn mov_imm_clears() {
+        let mut sh = ShadowState::new();
+        sh.regs[0] = Taint::IMEI;
+        propagate(
+            &mut sh,
+            &eff(
+                dp(DpOp::Mov, Reg::R0, Reg::R0, Op2::encode_imm(7).unwrap()),
+                None,
+            ),
+        );
+        assert_eq!(sh.regs[0], Taint::CLEAR, "mov Rd, #imm clears Rd taint");
+    }
+
+    #[test]
+    fn mov_reg_copies() {
+        let mut sh = ShadowState::new();
+        sh.regs[3] = Taint::SMS;
+        propagate(
+            &mut sh,
+            &eff(dp(DpOp::Mov, Reg::R0, Reg::R0, Op2::reg(Reg::R3)), None),
+        );
+        assert_eq!(sh.regs[0], Taint::SMS);
+    }
+
+    #[test]
+    fn compare_leaves_taint_alone() {
+        let mut sh = ShadowState::new();
+        sh.regs[0] = Taint::IMEI;
+        sh.regs[1] = Taint::SMS;
+        propagate(
+            &mut sh,
+            &eff(dp(DpOp::Cmp, Reg::R0, Reg::R0, Op2::reg(Reg::R1)), None),
+        );
+        assert_eq!(sh.regs[0], Taint::IMEI, "no control-flow taint");
+    }
+
+    #[test]
+    fn load_unions_memory_and_base_taint() {
+        let mut sh = ShadowState::new();
+        sh.mem.set_range(0x5000, 4, Taint::SMS);
+        sh.regs[1] = Taint::IMEI; // tainted pointer
+        let instr = Instr::Mem {
+            cond: Cond::Al,
+            load: true,
+            size: MemSize::Word,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset: MemOffset::Imm(0),
+            pre: true,
+            up: true,
+            writeback: false,
+        };
+        propagate(&mut sh, &eff(instr, Some(0x5000)));
+        assert_eq!(
+            sh.regs[0],
+            Taint::SMS | Taint::IMEI,
+            "t(Rd) = t(M[addr]) OR t(Rn)"
+        );
+    }
+
+    #[test]
+    fn store_sets_memory_taint() {
+        let mut sh = ShadowState::new();
+        sh.regs[0] = Taint::CONTACTS;
+        sh.mem.set_range(0x6000, 4, Taint::IMEI); // will be overwritten
+        let instr = Instr::Mem {
+            cond: Cond::Al,
+            load: false,
+            size: MemSize::Word,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset: MemOffset::Imm(0),
+            pre: true,
+            up: true,
+            writeback: false,
+        };
+        propagate(&mut sh, &eff(instr, Some(0x6000)));
+        assert_eq!(
+            sh.mem.range_taint(0x6000, 4),
+            Taint::CONTACTS,
+            "t(M[addr]) = t(Rd) is a SET"
+        );
+    }
+
+    #[test]
+    fn byte_store_taints_one_byte() {
+        let mut sh = ShadowState::new();
+        sh.regs[0] = Taint::SMS;
+        let instr = Instr::Mem {
+            cond: Cond::Al,
+            load: false,
+            size: MemSize::Byte,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset: MemOffset::Imm(0),
+            pre: true,
+            up: true,
+            writeback: false,
+        };
+        propagate(&mut sh, &eff(instr, Some(0x7000)));
+        assert_eq!(sh.mem.get(0x7000), Taint::SMS);
+        assert_eq!(sh.mem.get(0x7001), Taint::CLEAR, "byte granularity");
+    }
+
+    #[test]
+    fn ldm_stm_per_register() {
+        let mut sh = ShadowState::new();
+        sh.regs[4] = Taint::IMEI;
+        sh.regs[5] = Taint::SMS;
+        let push = Instr::MemMulti {
+            cond: Cond::Al,
+            load: false,
+            rn: Reg::SP,
+            mode: AddrMode4::Db,
+            writeback: true,
+            regs: RegList::of(&[Reg::R4, Reg::R5]),
+        };
+        propagate(&mut sh, &eff(push, Some(0x8000)));
+        assert_eq!(sh.mem.range_taint(0x8000, 4), Taint::IMEI);
+        assert_eq!(sh.mem.range_taint(0x8004, 4), Taint::SMS);
+
+        // Pop into different registers.
+        sh.regs[4] = Taint::CLEAR;
+        sh.regs[5] = Taint::CLEAR;
+        let pop = Instr::MemMulti {
+            cond: Cond::Al,
+            load: true,
+            rn: Reg::SP,
+            mode: AddrMode4::Ia,
+            writeback: true,
+            regs: RegList::of(&[Reg::R6, Reg::R7]),
+        };
+        propagate(&mut sh, &eff(pop, Some(0x8000)));
+        assert_eq!(sh.regs[6], Taint::IMEI);
+        assert_eq!(sh.regs[7], Taint::SMS);
+    }
+
+    #[test]
+    fn skipped_instruction_does_nothing() {
+        let mut sh = ShadowState::new();
+        sh.regs[1] = Taint::IMEI;
+        let mut e = eff(dp(DpOp::Mov, Reg::R0, Reg::R0, Op2::reg(Reg::R1)), None);
+        e.executed = false;
+        propagate(&mut sh, &e);
+        assert_eq!(sh.regs[0], Taint::CLEAR);
+    }
+
+    #[test]
+    fn shift_by_register_includes_amount_taint() {
+        let mut sh = ShadowState::new();
+        sh.regs[2] = Taint::CLEAR; // value
+        sh.regs[3] = Taint::SMS; // shift amount is tainted
+        propagate(
+            &mut sh,
+            &eff(
+                dp(
+                    DpOp::Mov,
+                    Reg::R0,
+                    Reg::R0,
+                    Op2::RegShiftReg {
+                        rm: Reg::R2,
+                        kind: ShiftKind::Lsl,
+                        rs: Reg::R3,
+                    },
+                ),
+                None,
+            ),
+        );
+        assert_eq!(sh.regs[0], Taint::SMS);
+    }
+
+    #[test]
+    fn vfp_propagation() {
+        let mut sh = ShadowState::new();
+        sh.vfp[2] = Taint::LOCATION_GPS; // d1 low half
+        let vadd = Instr::Vfp {
+            cond: Cond::Al,
+            op: VfpOp::Add,
+            prec: VfpPrec::F64,
+            fd: 0,
+            fn_: 1,
+            fm: 2,
+        };
+        propagate(&mut sh, &eff(vadd, None));
+        assert_eq!(sh.vfp[0], Taint::LOCATION_GPS);
+        assert_eq!(sh.vfp[1], Taint::LOCATION_GPS);
+    }
+
+    #[test]
+    fn vfp_store_and_load_memory() {
+        let mut sh = ShadowState::new();
+        sh.vfp[0] = Taint::MIC;
+        sh.vfp[1] = Taint::MIC;
+        let vstr = Instr::VfpMem {
+            cond: Cond::Al,
+            load: false,
+            prec: VfpPrec::F64,
+            fd: 0,
+            rn: Reg::R1,
+            offset: 0,
+            up: true,
+        };
+        propagate(&mut sh, &eff(vstr, Some(0x9000)));
+        assert_eq!(sh.mem.range_taint(0x9000, 8), Taint::MIC);
+        let vldr = Instr::VfpMem {
+            cond: Cond::Al,
+            load: true,
+            prec: VfpPrec::F32,
+            fd: 5,
+            rn: Reg::R1,
+            offset: 0,
+            up: true,
+        };
+        propagate(&mut sh, &eff(vldr, Some(0x9000)));
+        assert_eq!(sh.vfp[5], Taint::MIC);
+    }
+
+    #[test]
+    fn handler_cache_hits() {
+        let mut cache = HandlerCache::new();
+        let add = dp(DpOp::Add, Reg::R0, Reg::R1, Op2::reg(Reg::R2));
+        let b = Instr::Branch {
+            cond: Cond::Al,
+            link: false,
+            offset: 0,
+        };
+        assert!(cache.needs_taint_work(0x100, &add));
+        assert!(!cache.needs_taint_work(0x104, &b));
+        assert!(cache.needs_taint_work(0x100, &add));
+        assert_eq!(cache.hits, 1);
+        assert_eq!(cache.misses, 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! The §III analysis pipeline: derives every published number from the
+//! raw per-app records.
+
+use crate::record::{AppRecord, Category, JniType};
+use std::collections::HashMap;
+
+/// Everything §III reports.
+#[derive(Debug, Clone)]
+pub struct Section3Stats {
+    /// Total apps examined.
+    pub total: usize,
+    /// Type-I apps (call `System.load*`).
+    pub type1: usize,
+    /// Type-II apps (ship libraries without load calls).
+    pub type2: usize,
+    /// Type-II apps equipped with a loader dex.
+    pub type2_loadable: usize,
+    /// Type-III (pure native) apps.
+    pub type3: usize,
+    /// Fraction of the corpus using native libraries (Type I).
+    pub native_fraction: f64,
+    /// Type-I apps shipping no native library.
+    pub type1_without_libs: usize,
+    /// Fraction of those lib-less apps using the AdMob plugin classes.
+    pub admob_fraction: f64,
+    /// Type-I category histogram: (category, count), descending.
+    pub category_histogram: Vec<(Category, usize)>,
+    /// Most-bundled native libraries: (name, apps bundling it),
+    /// descending.
+    pub top_libraries: Vec<(&'static str, usize)>,
+    /// Type-III category split (games, entertainment).
+    pub type3_split: (usize, usize),
+}
+
+/// Runs the full §III classification.
+pub fn classify(records: &[AppRecord]) -> Section3Stats {
+    let total = records.len();
+    let mut type1 = 0;
+    let mut type2 = 0;
+    let mut type2_loadable = 0;
+    let mut type3 = 0;
+    let mut type1_without_libs = 0;
+    let mut admob_users = 0;
+    let mut categories: HashMap<Category, usize> = HashMap::new();
+    let mut libraries: HashMap<&'static str, usize> = HashMap::new();
+    let mut type3_games = 0;
+    let mut type3_ent = 0;
+
+    for r in records {
+        match r.jni_type() {
+            JniType::TypeI => {
+                type1 += 1;
+                *categories.entry(r.category).or_insert(0) += 1;
+                if r.native_libs.is_empty() {
+                    type1_without_libs += 1;
+                    if r.native_decl_classes
+                        .iter()
+                        .any(|c| c.starts_with("Lcom/admob/"))
+                    {
+                        admob_users += 1;
+                    }
+                }
+                for lib in &r.native_libs {
+                    *libraries.entry(lib).or_insert(0) += 1;
+                }
+            }
+            JniType::TypeII => {
+                type2 += 1;
+                if r.has_loader_dex {
+                    type2_loadable += 1;
+                }
+                for lib in &r.native_libs {
+                    *libraries.entry(lib).or_insert(0) += 1;
+                }
+            }
+            JniType::TypeIII => {
+                type3 += 1;
+                match r.category {
+                    Category::Game => type3_games += 1,
+                    Category::Entertainment => type3_ent += 1,
+                    _ => {}
+                }
+            }
+            JniType::None => {}
+        }
+    }
+
+    let mut category_histogram: Vec<(Category, usize)> = categories.into_iter().collect();
+    category_histogram.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut top_libraries: Vec<(&'static str, usize)> = libraries.into_iter().collect();
+    top_libraries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+
+    Section3Stats {
+        total,
+        type1,
+        type2,
+        type2_loadable,
+        type3,
+        native_fraction: type1 as f64 / total.max(1) as f64,
+        type1_without_libs,
+        admob_fraction: admob_users as f64 / type1_without_libs.max(1) as f64,
+        category_histogram,
+        top_libraries,
+        type3_split: (type3_games, type3_ent),
+    }
+}
+
+impl Section3Stats {
+    /// Renders the §III summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("apps examined:              {}\n", self.total));
+        out.push_str(&format!(
+            "type I  (System.load*):     {} ({:.2}%)\n",
+            self.type1,
+            100.0 * self.native_fraction
+        ));
+        out.push_str(&format!(
+            "type II (libs, no load):    {} ({} with loader dex)\n",
+            self.type2, self.type2_loadable
+        ));
+        out.push_str(&format!(
+            "type III (pure native):     {} ({} games, {} entertainment)\n",
+            self.type3, self.type3_split.0, self.type3_split.1
+        ));
+        out.push_str(&format!(
+            "type I without libraries:   {} ({:.1}% AdMob plugin)\n",
+            self.type1_without_libs,
+            100.0 * self.admob_fraction
+        ));
+        out.push_str("\nFig. 2 — Type I category distribution:\n");
+        for (cat, n) in &self.category_histogram {
+            out.push_str(&format!(
+                "  {:<22} {:>7} ({:>4.1}%)\n",
+                cat.name(),
+                n,
+                100.0 * *n as f64 / self.type1.max(1) as f64
+            ));
+        }
+        out.push_str("\nTop native libraries:\n");
+        for (lib, n) in self.top_libraries.iter().take(20) {
+            out.push_str(&format!("  {lib:<28} {n:>7}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, CorpusConfig};
+
+    #[test]
+    fn full_corpus_reproduces_paper_numbers() {
+        let cfg = CorpusConfig::default();
+        let stats = classify(&generate(&cfg));
+        assert_eq!(stats.total, 227_911);
+        assert_eq!(stats.type1, 37_506);
+        assert_eq!(stats.type2, 1_738);
+        assert_eq!(stats.type2_loadable, 394);
+        assert_eq!(stats.type3, 16);
+        assert_eq!(stats.type1_without_libs, 4_034);
+        assert!((stats.native_fraction - 0.1646).abs() < 0.0005, "16.46%");
+        assert!((stats.admob_fraction - 0.481).abs() < 0.002, "48.1%");
+        assert_eq!(stats.type3_split, (11, 5));
+    }
+
+    #[test]
+    fn game_category_dominates_at_42_percent() {
+        let stats = classify(&generate(&CorpusConfig::default()));
+        let (top_cat, top_n) = stats.category_histogram[0];
+        assert_eq!(top_cat, Category::Game);
+        let frac = top_n as f64 / stats.type1 as f64;
+        assert!((frac - 0.42).abs() < 0.001, "Fig. 2: Game = 42%, got {frac}");
+    }
+
+    #[test]
+    fn game_engines_top_the_library_ranking() {
+        let stats = classify(&generate(&CorpusConfig::default()));
+        let top5: Vec<&str> = stats.top_libraries.iter().take(5).map(|(l, _)| *l).collect();
+        assert!(
+            top5.contains(&"libunity.so"),
+            "Unity among the top libraries: {top5:?}"
+        );
+        // Every count is positive and descending.
+        for w in stats.top_libraries.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn render_contains_key_figures() {
+        let stats = classify(&generate(&CorpusConfig {
+            total: 5000,
+            type1: 823,
+            type2: 38,
+            type2_loadable: 9,
+            type3: 16,
+            type1_without_libs: 88,
+            admob_fraction: 0.481,
+            seed: 3,
+        }));
+        let s = stats.render();
+        assert!(s.contains("type I"));
+        assert!(s.contains("Game"));
+        assert!(s.contains("Fig. 2"));
+    }
+
+    #[test]
+    fn empty_corpus_does_not_divide_by_zero() {
+        let stats = classify(&[]);
+        assert_eq!(stats.total, 0);
+        assert_eq!(stats.native_fraction, 0.0);
+    }
+}

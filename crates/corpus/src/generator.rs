@@ -1,0 +1,316 @@
+//! Synthetic corpus generator, calibrated to §III's published
+//! aggregates (see the substitution note in the crate docs).
+
+use crate::record::{AppRecord, Category};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters; defaults match the paper exactly.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Total apps crawled (227,911 in the paper).
+    pub total: u32,
+    /// Type-I apps (37,506).
+    pub type1: u32,
+    /// Type-II apps (1,738).
+    pub type2: u32,
+    /// Type-II apps carrying a loader dex (394).
+    pub type2_loadable: u32,
+    /// Type-III apps (16, of which 11 games and 5 entertainment).
+    pub type3: u32,
+    /// Type-I apps shipping no native library (4,034).
+    pub type1_without_libs: u32,
+    /// Fraction of lib-less Type-I apps using the AdMob plugin classes
+    /// (48.1%).
+    pub admob_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> CorpusConfig {
+        CorpusConfig {
+            total: 227_911,
+            type1: 37_506,
+            type2: 1_738,
+            type2_loadable: 394,
+            type3: 16,
+            type1_without_libs: 4_034,
+            admob_fraction: 0.481,
+            seed: 0xD514, // DSN'14
+        }
+    }
+}
+
+/// Fig. 2's Type-I category proportions.
+const TYPE1_CATEGORY_WEIGHTS: [(Category, f64); 20] = [
+    (Category::Game, 0.42),
+    (Category::Tools, 0.05),
+    (Category::Entertainment, 0.05),
+    (Category::MusicAndAudio, 0.04),
+    (Category::Communication, 0.04),
+    (Category::Personalization, 0.04),
+    (Category::Casual, 0.03),
+    (Category::Puzzle, 0.03),
+    (Category::Racing, 0.03),
+    (Category::Sports, 0.03),
+    (Category::Productivity, 0.03),
+    (Category::Photography, 0.03),
+    (Category::Lifestyle, 0.03),
+    (Category::Arcade, 0.02),
+    (Category::TravelAndLocal, 0.02),
+    (Category::Social, 0.02),
+    (Category::MediaAndVideo, 0.02),
+    (Category::NewsAndMagazines, 0.02),
+    (Category::Education, 0.02),
+    (Category::Other, 0.03),
+];
+
+/// The popular native libraries of §III-A, most popular first: game
+/// engines dominate, then AV processing, then NDK/system libraries
+/// "bundled with the applications for addressing Android's poor
+/// compatibility".
+pub const POPULAR_LIBS: [&str; 20] = [
+    "libunity.so",
+    "libgdx.so",
+    "libbox2d.so",
+    "libcocos2d.so",
+    "libmono.so",
+    "libffmpeg.so",
+    "libstagefright_froyo.so",
+    "libmp3lame.so",
+    "libvorbis.so",
+    "libopenal.so",
+    "libstlport_shared.so",
+    "libcore.so",
+    "libcrypto.so",
+    "libcurl.so",
+    "libpng.so",
+    "libjpeg.so",
+    "libsqlite3.so",
+    "libprotobuf.so",
+    "libluajit.so",
+    "libwebp.so",
+];
+
+/// The eight AdMob plugin classes of §III-A (used by 48.1% of the
+/// lib-less Type-I apps — "repackaged apps with many advertisement
+/// components").
+pub const ADMOB_CLASSES: [&str; 8] = [
+    "Lcom/admob/android/ads/AdView;",
+    "Lcom/admob/android/ads/AdManager;",
+    "Lcom/admob/android/ads/AdContainer;",
+    "Lcom/admob/android/ads/AdRequester;",
+    "Lcom/admob/android/ads/InterstitialAd;",
+    "Lcom/admob/android/ads/analytics/InstallReceiver;",
+    "Lcom/admob/android/ads/view/AdActivity;",
+    "Lcom/admob/android/ads/util/AdUtil;",
+];
+
+fn exact_counts(total: u32, weights: &[(Category, f64)]) -> Vec<(Category, u32)> {
+    // Largest-remainder apportionment so counts sum exactly to total.
+    let mut out: Vec<(Category, u32, f64)> = weights
+        .iter()
+        .map(|(c, w)| {
+            let exact = w * total as f64;
+            (*c, exact.floor() as u32, exact - exact.floor())
+        })
+        .collect();
+    let assigned: u32 = out.iter().map(|(_, n, _)| *n).sum();
+    let mut remainder = total - assigned;
+    out.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    for entry in out.iter_mut() {
+        if remainder == 0 {
+            break;
+        }
+        entry.1 += 1;
+        remainder -= 1;
+    }
+    out.into_iter().map(|(c, n, _)| (c, n)).collect()
+}
+
+fn sample_libs(rng: &mut StdRng) -> Vec<&'static str> {
+    // Zipf-flavored: library i chosen with probability ∝ 1/(i+1).
+    let mut libs = Vec::new();
+    let n = rng.gen_range(1..=4usize);
+    while libs.len() < n {
+        let idx = loop {
+            let i = rng.gen_range(0..POPULAR_LIBS.len());
+            if rng.gen::<f64>() < 1.0 / (i as f64 + 1.0) {
+                break i;
+            }
+        };
+        if !libs.contains(&POPULAR_LIBS[idx]) {
+            libs.push(POPULAR_LIBS[idx]);
+        }
+    }
+    libs
+}
+
+/// Generates the corpus.
+pub fn generate(config: &CorpusConfig) -> Vec<AppRecord> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut records = Vec::with_capacity(config.total as usize);
+
+    // Category plan for Type-I apps (Fig. 2 proportions, exact).
+    let mut type1_categories: Vec<Category> = Vec::with_capacity(config.type1 as usize);
+    for (cat, n) in exact_counts(config.type1, &TYPE1_CATEGORY_WEIGHTS) {
+        type1_categories.extend(std::iter::repeat_n(cat, n as usize));
+    }
+    type1_categories.shuffle(&mut rng);
+
+    let mut id = 0u32;
+    // Type I.
+    let admob_count =
+        (config.type1_without_libs as f64 * config.admob_fraction).round() as u32;
+    for i in 0..config.type1 {
+        let without_libs = i < config.type1_without_libs;
+        let native_libs = if without_libs {
+            vec![]
+        } else {
+            sample_libs(&mut rng)
+        };
+        let native_decl_classes: Vec<&'static str> = if without_libs && i < admob_count {
+            ADMOB_CLASSES.to_vec()
+        } else if without_libs {
+            vec!["Lcom/vendor/sdk/NativeBridge;"]
+        } else {
+            vec!["Lcom/app/jni/Native;"]
+        };
+        records.push(AppRecord {
+            id,
+            category: type1_categories[i as usize],
+            calls_load_library: true,
+            native_libs,
+            has_loader_dex: false,
+            pure_native: false,
+            native_decl_classes,
+        });
+        id += 1;
+    }
+    // Type II.
+    for i in 0..config.type2 {
+        records.push(AppRecord {
+            id,
+            category: Category::ALL[rng.gen_range(0..Category::ALL.len())],
+            calls_load_library: false,
+            native_libs: sample_libs(&mut rng),
+            has_loader_dex: i < config.type2_loadable,
+            pure_native: false,
+            native_decl_classes: vec![],
+        });
+        id += 1;
+    }
+    // Type III: 11 games, 5 entertainment (§III-C).
+    for i in 0..config.type3 {
+        records.push(AppRecord {
+            id,
+            category: if i < 11 {
+                Category::Game
+            } else {
+                Category::Entertainment
+            },
+            calls_load_library: false,
+            native_libs: vec!["libmain.so"],
+            has_loader_dex: false,
+            pure_native: true,
+            native_decl_classes: vec![],
+        });
+        id += 1;
+    }
+    // The rest: pure-Java apps.
+    while id < config.total {
+        records.push(AppRecord {
+            id,
+            category: Category::ALL[rng.gen_range(0..Category::ALL.len())],
+            calls_load_library: false,
+            native_libs: vec![],
+            has_loader_dex: false,
+            pure_native: false,
+            native_decl_classes: vec![],
+        });
+        id += 1;
+    }
+    records.shuffle(&mut rng);
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::JniType;
+
+    fn small() -> CorpusConfig {
+        CorpusConfig {
+            total: 10_000,
+            type1: 1_646,
+            type2: 76,
+            type2_loadable: 17,
+            type3: 16,
+            type1_without_libs: 177,
+            admob_fraction: 0.481,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let cfg = small();
+        let records = generate(&cfg);
+        assert_eq!(records.len(), cfg.total as usize);
+        let t1 = records.iter().filter(|r| r.jni_type() == JniType::TypeI).count();
+        let t2 = records.iter().filter(|r| r.jni_type() == JniType::TypeII).count();
+        let t3 = records
+            .iter()
+            .filter(|r| r.jni_type() == JniType::TypeIII)
+            .count();
+        assert_eq!(t1 as u32, cfg.type1);
+        assert_eq!(t2 as u32, cfg.type2);
+        assert_eq!(t3 as u32, cfg.type3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = small();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.id == y.id && x.category == y.category));
+    }
+
+    #[test]
+    fn largest_remainder_sums_exactly() {
+        for total in [100u32, 1_646, 37_506] {
+            let counts = exact_counts(total, &TYPE1_CATEGORY_WEIGHTS);
+            let sum: u32 = counts.iter().map(|(_, n)| n).sum();
+            assert_eq!(sum, total);
+            let game = counts
+                .iter()
+                .find(|(c, _)| *c == Category::Game)
+                .unwrap()
+                .1;
+            let frac = game as f64 / total as f64;
+            assert!((frac - 0.42).abs() < 0.01, "game fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn type3_is_games_and_entertainment() {
+        let records = generate(&small());
+        let t3: Vec<_> = records
+            .iter()
+            .filter(|r| r.jni_type() == JniType::TypeIII)
+            .collect();
+        let games = t3.iter().filter(|r| r.category == Category::Game).count();
+        let ent = t3
+            .iter()
+            .filter(|r| r.category == Category::Entertainment)
+            .count();
+        assert_eq!(games, 11);
+        assert_eq!(ent, 5);
+    }
+}

@@ -1,0 +1,194 @@
+//! Raw per-app records, as a market crawler would extract from APKs.
+
+/// Google Play top-level categories (the subset Fig. 2 charts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Games (42% of Type-I apps — engines are native C/C++).
+    Game,
+    /// Tools.
+    Tools,
+    /// Entertainment.
+    Entertainment,
+    /// Music and audio (reuses existing native codecs).
+    MusicAndAudio,
+    /// Communication (native code hides protocols / encrypts).
+    Communication,
+    /// Personalization.
+    Personalization,
+    /// Casual games.
+    Casual,
+    /// Puzzles.
+    Puzzle,
+    /// Racing games.
+    Racing,
+    /// Sports.
+    Sports,
+    /// Productivity.
+    Productivity,
+    /// Photography.
+    Photography,
+    /// Lifestyle.
+    Lifestyle,
+    /// Arcade.
+    Arcade,
+    /// Travel and local.
+    TravelAndLocal,
+    /// Social.
+    Social,
+    /// Media and video.
+    MediaAndVideo,
+    /// News and magazines.
+    NewsAndMagazines,
+    /// Education.
+    Education,
+    /// Everything else.
+    Other,
+}
+
+impl Category {
+    /// All categories, in Fig. 2 display order.
+    pub const ALL: [Category; 20] = [
+        Category::Game,
+        Category::Tools,
+        Category::Entertainment,
+        Category::MusicAndAudio,
+        Category::Communication,
+        Category::Personalization,
+        Category::Casual,
+        Category::Puzzle,
+        Category::Racing,
+        Category::Sports,
+        Category::Productivity,
+        Category::Photography,
+        Category::Lifestyle,
+        Category::Arcade,
+        Category::TravelAndLocal,
+        Category::Social,
+        Category::MediaAndVideo,
+        Category::NewsAndMagazines,
+        Category::Education,
+        Category::Other,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Game => "Game",
+            Category::Tools => "Tools",
+            Category::Entertainment => "Entertainment",
+            Category::MusicAndAudio => "Music And Audio",
+            Category::Communication => "Communication",
+            Category::Personalization => "Personalization",
+            Category::Casual => "Casual",
+            Category::Puzzle => "Puzzle",
+            Category::Racing => "Racing",
+            Category::Sports => "Sports",
+            Category::Productivity => "Productivity",
+            Category::Photography => "Photography",
+            Category::Lifestyle => "Lifestyle",
+            Category::Arcade => "Arcade",
+            Category::TravelAndLocal => "Travel And Local",
+            Category::Social => "Social",
+            Category::MediaAndVideo => "Media And Video",
+            Category::NewsAndMagazines => "News And Magazines",
+            Category::Education => "Education",
+            Category::Other => "Other",
+        }
+    }
+}
+
+/// The three JNI-usage types of §III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JniType {
+    /// Invokes `System.load()`/`System.loadLibrary()`.
+    TypeI,
+    /// Ships native libraries without any load invocation.
+    TypeII,
+    /// Written in pure native code.
+    TypeIII,
+    /// No JNI involvement.
+    None,
+}
+
+/// What a crawler extracts from one APK.
+#[derive(Debug, Clone)]
+pub struct AppRecord {
+    /// Market id.
+    pub id: u32,
+    /// Store category.
+    pub category: Category,
+    /// Whether dex code calls `System.load()`/`System.loadLibrary()`.
+    pub calls_load_library: bool,
+    /// Bundled `.so` names.
+    pub native_libs: Vec<&'static str>,
+    /// Whether the app carries an additional compressed dex file that
+    /// itself contains load invocations (the Type-II "capability to
+    /// load native libraries").
+    pub has_loader_dex: bool,
+    /// A `NativeActivity`-style app with no dex entry points.
+    pub pure_native: bool,
+    /// Java classes declaring `native` methods.
+    pub native_decl_classes: Vec<&'static str>,
+}
+
+impl AppRecord {
+    /// Classifies this record per §III.
+    pub fn jni_type(&self) -> JniType {
+        if self.pure_native {
+            JniType::TypeIII
+        } else if self.calls_load_library {
+            JniType::TypeI
+        } else if !self.native_libs.is_empty() {
+            JniType::TypeII
+        } else {
+            JniType::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> AppRecord {
+        AppRecord {
+            id: 1,
+            category: Category::Game,
+            calls_load_library: false,
+            native_libs: vec![],
+            has_loader_dex: false,
+            pure_native: false,
+            native_decl_classes: vec![],
+        }
+    }
+
+    #[test]
+    fn classification_rules() {
+        let mut r = record();
+        assert_eq!(r.jni_type(), JniType::None);
+        r.calls_load_library = true;
+        assert_eq!(r.jni_type(), JniType::TypeI);
+        r.calls_load_library = false;
+        r.native_libs = vec!["libunity.so"];
+        assert_eq!(r.jni_type(), JniType::TypeII);
+        r.pure_native = true;
+        assert_eq!(r.jni_type(), JniType::TypeIII, "pure native wins");
+    }
+
+    #[test]
+    fn type1_may_lack_libraries() {
+        // §III-A: 4,034 Type-I apps do not contain native libraries.
+        let mut r = record();
+        r.calls_load_library = true;
+        r.native_libs = vec![];
+        assert_eq!(r.jni_type(), JniType::TypeI);
+    }
+
+    #[test]
+    fn categories_have_names() {
+        for c in Category::ALL {
+            assert!(!c.name().is_empty());
+        }
+        assert_eq!(Category::ALL.len(), 20);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests: the classifier must reproduce whatever
+//! marginals the generator was configured with — for *any* consistent
+//! configuration, not just the paper's.
+
+use ndroid_corpus::{classify, generate, CorpusConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = CorpusConfig> {
+    (
+        2_000u32..20_000,
+        1u32..2_000,
+        0u32..200,
+        0u32..40,
+        any::<u64>(),
+    )
+        .prop_flat_map(|(total, type1, type2, type3, seed)| {
+            let type1 = type1.min(total / 4);
+            let type2 = type2.min(total / 8);
+            let type3 = type3.min(16); // generator splits 11/5
+            (
+                Just(total),
+                Just(type1),
+                Just(type2),
+                0..=type2,
+                Just(type3),
+                0..=type1,
+                Just(seed),
+            )
+        })
+        .prop_map(
+            |(total, type1, type2, type2_loadable, type3, type1_without_libs, seed)| {
+                CorpusConfig {
+                    total,
+                    type1,
+                    type2,
+                    type2_loadable,
+                    type3,
+                    type1_without_libs,
+                    admob_fraction: 0.481,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn classifier_reproduces_any_configuration(config in arb_config()) {
+        let records = generate(&config);
+        prop_assert_eq!(records.len(), config.total as usize);
+        let stats = classify(&records);
+        prop_assert_eq!(stats.total as u32, config.total);
+        prop_assert_eq!(stats.type1 as u32, config.type1);
+        prop_assert_eq!(stats.type2 as u32, config.type2);
+        prop_assert_eq!(stats.type2_loadable as u32, config.type2_loadable);
+        prop_assert_eq!(stats.type3 as u32, config.type3);
+        prop_assert_eq!(stats.type1_without_libs as u32, config.type1_without_libs);
+        // Category histogram sums to the Type-I count.
+        let cat_sum: usize = stats.category_histogram.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(cat_sum as u32, config.type1);
+        // Library counts never exceed the number of apps that could
+        // bundle them.
+        for (_, n) in &stats.top_libraries {
+            prop_assert!(*n <= (config.type1 + config.type2 + config.type3) as usize);
+        }
+    }
+
+    #[test]
+    fn shuffling_does_not_change_stats(seed in any::<u64>()) {
+        let config = CorpusConfig {
+            total: 5_000,
+            type1: 800,
+            type2: 60,
+            type2_loadable: 12,
+            type3: 16,
+            type1_without_libs: 90,
+            admob_fraction: 0.481,
+            seed,
+        };
+        let stats = classify(&generate(&config));
+        prop_assert_eq!(stats.type1, 800);
+        prop_assert_eq!(stats.type3_split, (11, 5));
+    }
+}

@@ -1,0 +1,325 @@
+//! The Dalvik-style bytecode instruction set interpreted by [`crate::interp`].
+//!
+//! Registers are frame-local `v0..v(registers_size-1)`; arguments arrive
+//! in the last `ins_size` registers, as in real Dalvik.
+
+/// Binary arithmetic/logic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division (errors on divide-by-zero like a Java exception).
+    Div,
+    /// Signed remainder.
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+}
+
+impl BinOp {
+    /// Applies the operator (wrapping semantics; `Div`/`Rem` by zero
+    /// return `None`).
+    pub fn apply(self, a: u32, b: u32) -> Option<u32> {
+        Some(match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return None;
+                }
+                (a as i32).wrapping_div(b as i32) as u32
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return None;
+                }
+                (a as i32).wrapping_rem(b as i32) as u32
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b & 31),
+            BinOp::Shr => a.wrapping_shr(b & 31),
+        })
+    }
+}
+
+/// Comparison operators for `if-test` instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Signed greater-than.
+    Gt,
+    /// Signed less-or-equal.
+    Le,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison on signed 32-bit values.
+    pub fn test(self, a: u32, b: u32) -> bool {
+        let (a, b) = (a as i32, b as i32);
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Le => a <= b,
+        }
+    }
+}
+
+/// Kinds of method invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvokeKind {
+    /// `invoke-virtual` (receiver in the first argument register).
+    Virtual,
+    /// `invoke-static`.
+    Static,
+}
+
+/// One Dalvik-style instruction.
+///
+/// Register operands are indexes into the current frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DexInsn {
+    /// `const vA, #lit`
+    Const {
+        /// Destination register.
+        dst: u16,
+        /// Literal value.
+        value: u32,
+    },
+    /// `const-string vA, string@idx` — allocates an untainted string.
+    ConstString {
+        /// Destination register.
+        dst: u16,
+        /// Index into [`crate::class::Program::strings`].
+        index: u32,
+    },
+    /// `move vA, vB` (taint moves with the value).
+    Move {
+        /// Destination register.
+        dst: u16,
+        /// Source register.
+        src: u16,
+    },
+    /// `move-result vA` — fetches the last invocation's return value and
+    /// taint from the thread's `InterpSaveState`.
+    MoveResult {
+        /// Destination register.
+        dst: u16,
+    },
+    /// `binop vA, vB, vC` — taint of A = taint(B) ∪ taint(C).
+    BinOp {
+        /// Operator.
+        op: BinOp,
+        /// Destination register.
+        dst: u16,
+        /// Left operand register.
+        a: u16,
+        /// Right operand register.
+        b: u16,
+    },
+    /// `binop/lit vA, vB, #lit` — taint of A = taint(B).
+    BinOpLit {
+        /// Operator.
+        op: BinOp,
+        /// Destination register.
+        dst: u16,
+        /// Operand register.
+        a: u16,
+        /// Literal right operand.
+        lit: u32,
+    },
+    /// `neg vA, vB`
+    Neg {
+        /// Destination register.
+        dst: u16,
+        /// Source register.
+        src: u16,
+    },
+    /// `if-test vA, vB, +off`
+    IfTest {
+        /// Comparison.
+        op: CmpOp,
+        /// Left register.
+        a: u16,
+        /// Right register.
+        b: u16,
+        /// Absolute instruction index to jump to when true.
+        target: u32,
+    },
+    /// `if-testz vA, +off`
+    IfTestZ {
+        /// Comparison against zero.
+        op: CmpOp,
+        /// Register compared with zero.
+        a: u16,
+        /// Absolute instruction index to jump to when true.
+        target: u32,
+    },
+    /// `goto +off`
+    Goto {
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// `new-instance vA, type@class`
+    NewInstance {
+        /// Destination register.
+        dst: u16,
+        /// Class to instantiate.
+        class: crate::class::ClassId,
+    },
+    /// `new-array vA, vB(size)`
+    NewArray {
+        /// Destination register.
+        dst: u16,
+        /// Register holding the element count.
+        size: u16,
+        /// Element kind.
+        kind: crate::object::ArrayKind,
+    },
+    /// `array-length vA, vB`
+    ArrayLength {
+        /// Destination register.
+        dst: u16,
+        /// Array reference register.
+        arr: u16,
+    },
+    /// `aget vA, vB(arr), vC(idx)` — dst taint = array taint ∪ index taint.
+    ArrayGet {
+        /// Destination register.
+        dst: u16,
+        /// Array reference register.
+        arr: u16,
+        /// Index register.
+        idx: u16,
+    },
+    /// `aput vA(src), vB(arr), vC(idx)` — array taint ∪= src taint.
+    ArrayPut {
+        /// Source register.
+        src: u16,
+        /// Array reference register.
+        arr: u16,
+        /// Index register.
+        idx: u16,
+    },
+    /// `iget vA, vB(obj), field@idx`
+    IGet {
+        /// Destination register.
+        dst: u16,
+        /// Object reference register.
+        obj: u16,
+        /// Field index within the instance.
+        field: u16,
+    },
+    /// `iput vA(src), vB(obj), field@idx`
+    IPut {
+        /// Source register.
+        src: u16,
+        /// Object reference register.
+        obj: u16,
+        /// Field index within the instance.
+        field: u16,
+    },
+    /// `sget vA, field@(class, idx)`
+    SGet {
+        /// Destination register.
+        dst: u16,
+        /// Owning class.
+        class: crate::class::ClassId,
+        /// Static field index.
+        field: u16,
+    },
+    /// `sput vA, field@(class, idx)`
+    SPut {
+        /// Source register.
+        src: u16,
+        /// Owning class.
+        class: crate::class::ClassId,
+        /// Static field index.
+        field: u16,
+    },
+    /// `invoke-kind {vC, vD, …} method@id`
+    Invoke {
+        /// Invocation kind.
+        kind: InvokeKind,
+        /// Callee.
+        method: crate::class::MethodId,
+        /// Argument registers (for virtual calls, `args[0]` is `this`).
+        args: Vec<u16>,
+    },
+    /// `return vA`
+    Return {
+        /// Register whose value (and taint) is returned.
+        src: u16,
+    },
+    /// `return-void`
+    ReturnVoid,
+    /// `throw vA` — throws the exception object in vA.
+    Throw {
+        /// Exception reference register.
+        src: u16,
+    },
+    /// `move-exception vA` — fetches the pending exception at the start
+    /// of a catch handler.
+    MoveException {
+        /// Destination register.
+        dst: u16,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(BinOp::Add.apply(u32::MAX, 1), Some(0));
+        assert_eq!(BinOp::Sub.apply(0, 1), Some(u32::MAX));
+        assert_eq!(BinOp::Mul.apply(6, 7), Some(42));
+        assert_eq!(BinOp::Div.apply(7, 2), Some(3));
+        assert_eq!(BinOp::Div.apply((-7i32) as u32, 2), Some((-3i32) as u32));
+        assert_eq!(BinOp::Div.apply(1, 0), None);
+        assert_eq!(BinOp::Rem.apply(7, 0), None);
+        assert_eq!(BinOp::Rem.apply(7, 4), Some(3));
+        assert_eq!(BinOp::And.apply(0b1100, 0b1010), Some(0b1000));
+        assert_eq!(BinOp::Or.apply(0b1100, 0b1010), Some(0b1110));
+        assert_eq!(BinOp::Xor.apply(0b1100, 0b1010), Some(0b0110));
+        assert_eq!(BinOp::Shl.apply(1, 4), Some(16));
+        assert_eq!(BinOp::Shr.apply(16, 4), Some(1));
+        assert_eq!(BinOp::Shl.apply(1, 33), Some(2), "shift masks to 5 bits");
+    }
+
+    #[test]
+    fn cmp_semantics_are_signed() {
+        assert!(CmpOp::Lt.test((-1i32) as u32, 0));
+        assert!(!CmpOp::Lt.test(1, 0));
+        assert!(CmpOp::Ge.test(0, 0));
+        assert!(CmpOp::Eq.test(5, 5));
+        assert!(CmpOp::Ne.test(5, 6));
+        assert!(CmpOp::Gt.test(6, 5));
+        assert!(CmpOp::Le.test(5, 5));
+    }
+}

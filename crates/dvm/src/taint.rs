@@ -1,0 +1,198 @@
+//! TaintDroid's 32-bit taint label format.
+//!
+//! "The taint labels in TaintDroid are represented by 32bit integers,
+//! each bit of a taint label indicates one type of sensitive
+//! information, and different types of sensitive information are
+//! combined by the union operation of different taint labels." (§II-B)
+//!
+//! NDroid adopts the same format so the two systems' taints compose
+//! ("let the taints added by NDroid follow TaintDroid's format so that
+//! they can work together smoothly", §V-A).
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// A 32-bit taint label; each bit marks one sensitive-information type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Taint(pub u32);
+
+impl Taint {
+    /// No taint (the paper's `TAINT_CLEAR`).
+    pub const CLEAR: Taint = Taint(0);
+    /// Location (coarse).
+    pub const LOCATION: Taint = Taint(0x0001);
+    /// Address-book contacts.
+    pub const CONTACTS: Taint = Taint(0x0002);
+    /// Microphone input.
+    pub const MIC: Taint = Taint(0x0004);
+    /// Phone number.
+    pub const PHONE_NUMBER: Taint = Taint(0x0008);
+    /// GPS location.
+    pub const LOCATION_GPS: Taint = Taint(0x0010);
+    /// Network-derived location.
+    pub const LOCATION_NET: Taint = Taint(0x0020);
+    /// Last known location.
+    pub const LOCATION_LAST: Taint = Taint(0x0040);
+    /// Camera data.
+    pub const CAMERA: Taint = Taint(0x0080);
+    /// Accelerometer data.
+    pub const ACCELEROMETER: Taint = Taint(0x0100);
+    /// SMS message content.
+    pub const SMS: Taint = Taint(0x0200);
+    /// IMEI device identifier.
+    pub const IMEI: Taint = Taint(0x0400);
+    /// IMSI subscriber identifier.
+    pub const IMSI: Taint = Taint(0x0800);
+    /// SIM card identifier (ICCID).
+    pub const ICCID: Taint = Taint(0x1000);
+    /// Device serial number.
+    pub const DEVICE_SN: Taint = Taint(0x2000);
+    /// User account information.
+    pub const ACCOUNT: Taint = Taint(0x4000);
+    /// Browser history.
+    pub const HISTORY: Taint = Taint(0x8000);
+
+    /// Whether any taint bit is set.
+    #[inline]
+    pub fn is_tainted(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Whether no taint bit is set.
+    #[inline]
+    pub fn is_clear(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Union with another label (the propagation combinator).
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: Taint) -> Taint {
+        Taint(self.0 | other.0)
+    }
+
+    /// Whether this label carries every bit of `other`.
+    #[inline]
+    pub fn contains(self, other: Taint) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether this label shares any bit with `other`.
+    #[inline]
+    pub fn intersects(self, other: Taint) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Names of the sensitive-information types in this label.
+    pub fn source_names(self) -> Vec<&'static str> {
+        const TABLE: [(u32, &str); 16] = [
+            (0x0001, "location"),
+            (0x0002, "contacts"),
+            (0x0004, "microphone"),
+            (0x0008, "phone-number"),
+            (0x0010, "location-gps"),
+            (0x0020, "location-net"),
+            (0x0040, "location-last"),
+            (0x0080, "camera"),
+            (0x0100, "accelerometer"),
+            (0x0200, "sms"),
+            (0x0400, "imei"),
+            (0x0800, "imsi"),
+            (0x1000, "iccid"),
+            (0x2000, "device-sn"),
+            (0x4000, "account"),
+            (0x8000, "history"),
+        ];
+        TABLE
+            .iter()
+            .filter(|(bit, _)| self.0 & bit != 0)
+            .map(|(_, name)| *name)
+            .collect()
+    }
+}
+
+impl BitOr for Taint {
+    type Output = Taint;
+    fn bitor(self, rhs: Taint) -> Taint {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for Taint {
+    fn bitor_assign(&mut self, rhs: Taint) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl From<u32> for Taint {
+    fn from(bits: u32) -> Taint {
+        Taint(bits)
+    }
+}
+
+impl fmt::Display for Taint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Taint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_is_bitwise_or() {
+        let t = Taint::SMS | Taint::CONTACTS;
+        assert_eq!(t.0, 0x202, "the paper's QQPhoneBook label");
+        assert!(t.is_tainted());
+        assert!(t.contains(Taint::SMS));
+        assert!(t.contains(Taint::CONTACTS));
+        assert!(!t.contains(Taint::IMEI));
+        assert!(t.intersects(Taint::SMS | Taint::IMEI));
+    }
+
+    #[test]
+    fn clear_is_empty() {
+        assert!(Taint::CLEAR.is_clear());
+        assert!(!Taint::CLEAR.is_tainted());
+        assert_eq!(Taint::CLEAR | Taint::CLEAR, Taint::CLEAR);
+        assert_eq!(Taint::IMEI | Taint::CLEAR, Taint::IMEI);
+    }
+
+    #[test]
+    fn source_names_match_bits() {
+        let t = Taint::SMS | Taint::CONTACTS;
+        assert_eq!(t.source_names(), vec!["contacts", "sms"]);
+        assert!(Taint::CLEAR.source_names().is_empty());
+    }
+
+    #[test]
+    fn poc3_label_decomposes() {
+        // Fig. 9's 0x1602 = ICCID | IMEI | SMS | CONTACTS.
+        let t = Taint(0x1602);
+        assert!(t.contains(Taint::ICCID));
+        assert!(t.contains(Taint::IMEI));
+        assert!(t.contains(Taint::SMS));
+        assert!(t.contains(Taint::CONTACTS));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Taint(0x202).to_string(), "0x202");
+        assert_eq!(format!("{:x}", Taint(0x1602)), "1602");
+    }
+
+    #[test]
+    fn or_assign() {
+        let mut t = Taint::CLEAR;
+        t |= Taint::IMEI;
+        t |= Taint::SMS;
+        assert_eq!(t, Taint::IMEI | Taint::SMS);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for the emulator runtime.
+
+use ndroid_arm::ArmError;
+use ndroid_dvm::DvmError;
+use std::fmt;
+
+/// Errors raised while running guest code under the emulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// An ARM-level failure (decode, execute).
+    Arm(ArmError),
+    /// A DVM-level failure surfaced through a JNI boundary.
+    Dvm(DvmError),
+    /// The guest executed more instructions than the configured budget.
+    Timeout {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+    /// A branch targeted an address that is neither code nor a
+    /// registered host function.
+    WildBranch {
+        /// Branch origin.
+        from: u32,
+        /// Branch target.
+        to: u32,
+    },
+    /// A host function failed.
+    Host {
+        /// The host function's registered name.
+        name: String,
+        /// Failure description.
+        message: String,
+    },
+    /// Bad file descriptor or kernel-object misuse.
+    Kernel(String),
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::Arm(e) => write!(f, "arm: {e}"),
+            EmuError::Dvm(e) => write!(f, "dvm: {e}"),
+            EmuError::Timeout { budget } => {
+                write!(f, "guest exceeded instruction budget of {budget}")
+            }
+            EmuError::WildBranch { from, to } => {
+                write!(f, "wild branch from {from:#x} to {to:#x}")
+            }
+            EmuError::Host { name, message } => write!(f, "host fn {name}: {message}"),
+            EmuError::Kernel(msg) => write!(f, "kernel: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmuError::Arm(e) => Some(e),
+            EmuError::Dvm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArmError> for EmuError {
+    fn from(e: ArmError) -> EmuError {
+        EmuError::Arm(e)
+    }
+}
+
+impl From<DvmError> for EmuError {
+    fn from(e: DvmError) -> EmuError {
+        EmuError::Dvm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EmuError = ArmError::Unmapped { addr: 4 }.into();
+        assert!(e.to_string().contains("arm:"));
+        let e: EmuError = DvmError::OutOfFuel.into();
+        assert!(e.to_string().contains("dvm:"));
+        assert!(!EmuError::Timeout { budget: 5 }.to_string().is_empty());
+        assert!(!EmuError::WildBranch { from: 0, to: 1 }.to_string().is_empty());
+        use std::error::Error;
+        assert!(EmuError::Arm(ArmError::Unmapped { addr: 4 }).source().is_some());
+        assert!(EmuError::Kernel("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! The OS-level view reconstructor.
+//!
+//! "Motivated by Droidscope, NDroid employs virtual machine
+//! introspection to collect the information of processes and memory
+//! maps in Android's Linux kernel by only analyzing ARM/Thumb
+//! instructions" (§V-F) — i.e. it reads raw guest memory, without any
+//! cooperative interface. Here the kernel writes `task_struct`-like
+//! records into guest memory at [`crate::layout::KERNEL_TASKS_BASE`],
+//! and the reconstructor parses them back *from the raw bytes alone*.
+//!
+//! Record layout (little-endian words):
+//!
+//! ```text
+//! +0   pid
+//! +4   comm (16 bytes, NUL padded)
+//! +20  vma_count
+//! +24  vma[0].start  +28 vma[0].end  +32 vma[0].name_ptr
+//! …    (12 bytes per VMA)
+//! next task record follows immediately
+//! ```
+//!
+//! A `pid` of 0 terminates the list. VMA name strings live wherever
+//! `name_ptr` points (the writer places them after the table).
+
+use crate::layout::KERNEL_TASKS_BASE;
+use ndroid_arm::Memory;
+
+/// A virtual memory area of a guest process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vma {
+    /// Inclusive start address.
+    pub start: u32,
+    /// Exclusive end address.
+    pub end: u32,
+    /// Backing object name (e.g. `libqqphone.so`).
+    pub name: String,
+}
+
+/// A guest process as seen by the reconstructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessView {
+    /// Process id.
+    pub pid: u32,
+    /// Command name.
+    pub comm: String,
+    /// Memory map.
+    pub vmas: Vec<Vma>,
+}
+
+impl ProcessView {
+    /// Finds the module containing `addr`, if any.
+    pub fn module_at(&self, addr: u32) -> Option<&Vma> {
+        self.vmas.iter().find(|v| (v.start..v.end).contains(&addr))
+    }
+
+    /// The base address of the named module.
+    pub fn module_base(&self, name: &str) -> Option<u32> {
+        self.vmas.iter().find(|v| v.name == name).map(|v| v.start)
+    }
+}
+
+/// Writes task records into guest kernel memory (what the simulated
+/// kernel does as processes map libraries).
+#[derive(Debug, Default)]
+pub struct TaskWriter {
+    processes: Vec<ProcessView>,
+}
+
+impl TaskWriter {
+    /// An empty task table.
+    pub fn new() -> TaskWriter {
+        TaskWriter::default()
+    }
+
+    /// Registers a process (replacing any previous entry with the same
+    /// pid).
+    pub fn upsert(&mut self, process: ProcessView) {
+        if let Some(p) = self.processes.iter_mut().find(|p| p.pid == process.pid) {
+            *p = process;
+        } else {
+            self.processes.push(process);
+        }
+    }
+
+    /// Adds a VMA to an existing process.
+    pub fn add_vma(&mut self, pid: u32, vma: Vma) {
+        if let Some(p) = self.processes.iter_mut().find(|p| p.pid == pid) {
+            p.vmas.push(vma);
+        }
+    }
+
+    /// Serializes the task table into guest memory.
+    pub fn flush(&self, mem: &mut Memory) {
+        let mut addr = KERNEL_TASKS_BASE;
+        // Names pool placed after a generous table region.
+        let mut name_addr = KERNEL_TASKS_BASE + 0x8000;
+        for p in &self.processes {
+            mem.write_u32(addr, p.pid);
+            let mut comm = [0u8; 16];
+            let bytes = p.comm.as_bytes();
+            let n = bytes.len().min(15);
+            comm[..n].copy_from_slice(&bytes[..n]);
+            mem.write_bytes(addr + 4, &comm);
+            mem.write_u32(addr + 20, p.vmas.len() as u32);
+            let mut v = addr + 24;
+            for vma in &p.vmas {
+                mem.write_u32(v, vma.start);
+                mem.write_u32(v + 4, vma.end);
+                mem.write_u32(v + 8, name_addr);
+                mem.write_cstr(name_addr, vma.name.as_bytes());
+                name_addr += vma.name.len() as u32 + 1;
+                v += 12;
+            }
+            addr = v;
+        }
+        mem.write_u32(addr, 0); // terminator
+    }
+}
+
+/// Reconstructs the process list by walking raw guest memory — the
+/// VMI operation NDroid performs.
+pub fn reconstruct(mem: &Memory) -> Vec<ProcessView> {
+    let mut out = Vec::new();
+    let mut addr = KERNEL_TASKS_BASE;
+    loop {
+        let pid = mem.read_u32(addr);
+        if pid == 0 {
+            break;
+        }
+        let comm_bytes = mem.read_bytes(addr + 4, 16);
+        let comm_len = comm_bytes.iter().position(|b| *b == 0).unwrap_or(16);
+        let comm = String::from_utf8_lossy(&comm_bytes[..comm_len]).into_owned();
+        let vma_count = mem.read_u32(addr + 20);
+        let mut vmas = Vec::with_capacity(vma_count as usize);
+        let mut v = addr + 24;
+        for _ in 0..vma_count.min(1024) {
+            let start = mem.read_u32(v);
+            let end = mem.read_u32(v + 4);
+            let name_ptr = mem.read_u32(v + 8);
+            let name = String::from_utf8_lossy(&mem.read_cstr(name_ptr)).into_owned();
+            vmas.push(Vma { start, end, name });
+            v += 12;
+        }
+        out.push(ProcessView { pid, comm, vmas });
+        addr = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TaskWriter {
+        let mut w = TaskWriter::new();
+        w.upsert(ProcessView {
+            pid: 1347,
+            comm: "com.tencent.qq".into(),
+            vmas: vec![
+                Vma {
+                    start: 0x1000_0000,
+                    end: 0x1002_0000,
+                    name: "libtccsync.so".into(),
+                },
+                Vma {
+                    start: 0x6000_0000,
+                    end: 0x6010_0000,
+                    name: "libdvm.so".into(),
+                },
+            ],
+        });
+        w.upsert(ProcessView {
+            pid: 2,
+            comm: "zygote".into(),
+            vmas: vec![],
+        });
+        w
+    }
+
+    #[test]
+    fn write_then_reconstruct_roundtrip() {
+        let mut mem = Memory::new();
+        sample().flush(&mut mem);
+        let procs = reconstruct(&mem);
+        assert_eq!(procs.len(), 2);
+        assert_eq!(procs[0].pid, 1347);
+        assert_eq!(procs[0].comm, "com.tencent.qq");
+        assert_eq!(procs[0].vmas.len(), 2);
+        assert_eq!(procs[0].vmas[0].name, "libtccsync.so");
+        assert_eq!(procs[1].comm, "zygote");
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut mem = Memory::new();
+        sample().flush(&mut mem);
+        let procs = reconstruct(&mem);
+        let p = &procs[0];
+        assert_eq!(p.module_at(0x1000_1234).unwrap().name, "libtccsync.so");
+        assert_eq!(p.module_at(0x6000_0010).unwrap().name, "libdvm.so");
+        assert!(p.module_at(0x9000_0000).is_none());
+        assert_eq!(p.module_base("libdvm.so"), Some(0x6000_0000));
+        assert_eq!(p.module_base("missing.so"), None);
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let mut w = sample();
+        w.upsert(ProcessView {
+            pid: 1347,
+            comm: "renamed".into(),
+            vmas: vec![],
+        });
+        let mut mem = Memory::new();
+        w.flush(&mut mem);
+        let procs = reconstruct(&mem);
+        assert_eq!(procs.len(), 2);
+        assert_eq!(procs[0].comm, "renamed");
+        assert!(procs[0].vmas.is_empty());
+    }
+
+    #[test]
+    fn add_vma_grows_map() {
+        let mut w = sample();
+        w.add_vma(
+            2,
+            Vma {
+                start: 0x7000_0000,
+                end: 0x7000_1000,
+                name: "libc.so".into(),
+            },
+        );
+        let mut mem = Memory::new();
+        w.flush(&mut mem);
+        let procs = reconstruct(&mem);
+        assert_eq!(procs[1].vmas.len(), 1);
+        assert_eq!(procs[1].vmas[0].name, "libc.so");
+    }
+
+    #[test]
+    fn empty_table() {
+        let mem = Memory::new();
+        assert!(reconstruct(&mem).is_empty());
+    }
+
+    #[test]
+    fn long_comm_truncated() {
+        let mut w = TaskWriter::new();
+        w.upsert(ProcessView {
+            pid: 9,
+            comm: "a-very-long-process-name-exceeding".into(),
+            vmas: vec![],
+        });
+        let mut mem = Memory::new();
+        w.flush(&mut mem);
+        let procs = reconstruct(&mem);
+        assert_eq!(procs[0].comm.len(), 15);
+    }
+}

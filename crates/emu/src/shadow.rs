@@ -1,0 +1,227 @@
+//! NDroid's taint shadow state.
+//!
+//! "NDroid maintains shadow registers to store the related registers'
+//! taints and a taint map to store the memories' taints. The taint
+//! granularity of NDroid is byte. The general propagation logic behind
+//! NDroid follows the 'or' operation." (§V-E)
+//!
+//! The shadow state also holds the *object taint map* keyed by indirect
+//! reference — "the shadow memory uses the indirect reference as key to
+//! locate the taint information" because direct pointers move under GC
+//! (§V-B).
+
+use ndroid_dvm::{IndirectRef, Taint};
+use std::collections::HashMap;
+
+/// Byte-granular shadow memory for taints.
+///
+/// Backed by a sparse hash map: only tainted bytes consume space, so a
+/// mostly-clean guest costs almost nothing — one of the reasons NDroid
+/// is cheaper than whole-system approaches.
+#[derive(Debug, Default, Clone)]
+pub struct TaintMap {
+    bytes: HashMap<u32, Taint>,
+}
+
+impl TaintMap {
+    /// An empty (all-clear) map.
+    pub fn new() -> TaintMap {
+        TaintMap::default()
+    }
+
+    /// The taint of one byte.
+    #[inline]
+    pub fn get(&self, addr: u32) -> Taint {
+        self.bytes.get(&addr).copied().unwrap_or(Taint::CLEAR)
+    }
+
+    /// Overwrites one byte's taint (clearing removes the entry).
+    #[inline]
+    pub fn set(&mut self, addr: u32, taint: Taint) {
+        if taint.is_clear() {
+            self.bytes.remove(&addr);
+        } else {
+            self.bytes.insert(addr, taint);
+        }
+    }
+
+    /// Unions `taint` into one byte.
+    #[inline]
+    pub fn add(&mut self, addr: u32, taint: Taint) {
+        if taint.is_tainted() {
+            *self.bytes.entry(addr).or_insert(Taint::CLEAR) |= taint;
+        }
+    }
+
+    /// Overwrites a byte range with `taint`.
+    pub fn set_range(&mut self, addr: u32, len: u32, taint: Taint) {
+        for i in 0..len {
+            self.set(addr.wrapping_add(i), taint);
+        }
+    }
+
+    /// Unions `taint` over a byte range.
+    pub fn add_range(&mut self, addr: u32, len: u32, taint: Taint) {
+        for i in 0..len {
+            self.add(addr.wrapping_add(i), taint);
+        }
+    }
+
+    /// The union of taints over a byte range.
+    pub fn range_taint(&self, addr: u32, len: u32) -> Taint {
+        let mut t = Taint::CLEAR;
+        for i in 0..len {
+            t |= self.get(addr.wrapping_add(i));
+        }
+        t
+    }
+
+    /// Clears a byte range.
+    pub fn clear_range(&mut self, addr: u32, len: u32) {
+        for i in 0..len {
+            self.bytes.remove(&addr.wrapping_add(i));
+        }
+    }
+
+    /// Copies taints byte-by-byte from `src` to `dst` (the `memcpy`
+    /// model of the paper's Listing 3).
+    pub fn copy_range(&mut self, dst: u32, src: u32, len: u32) {
+        // Collect first in case ranges overlap.
+        let taints: Vec<Taint> = (0..len).map(|i| self.get(src.wrapping_add(i))).collect();
+        for (i, t) in taints.into_iter().enumerate() {
+            self.set(dst.wrapping_add(i as u32), t);
+        }
+    }
+
+    /// Number of tainted bytes.
+    pub fn tainted_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// The complete native-context taint state.
+#[derive(Debug, Default, Clone)]
+pub struct ShadowState {
+    /// Shadow core registers (`tR0`…`tR15`).
+    pub regs: [Taint; 16],
+    /// Shadow VFP registers (S0–S31).
+    pub vfp: [Taint; 32],
+    /// Byte-granular memory taint map.
+    pub mem: TaintMap,
+    /// Java-object taints visible from the native context, keyed by
+    /// **indirect reference** so GC moves cannot stale them (§V-B).
+    pub objects: HashMap<IndirectRef, Taint>,
+    /// Count of taint-propagation operations performed (for overhead
+    /// accounting in the benchmarks).
+    pub ops: u64,
+}
+
+impl ShadowState {
+    /// A fresh, all-clear shadow state.
+    pub fn new() -> ShadowState {
+        ShadowState::default()
+    }
+
+    /// Clears every shadow register (e.g. on a fresh native call).
+    pub fn clear_regs(&mut self) {
+        self.regs = [Taint::CLEAR; 16];
+        self.vfp = [Taint::CLEAR; 32];
+    }
+
+    /// The taint recorded for a Java object reference.
+    pub fn object_taint(&self, r: IndirectRef) -> Taint {
+        self.objects.get(&r).copied().unwrap_or(Taint::CLEAR)
+    }
+
+    /// Unions taint onto a Java object reference.
+    pub fn taint_object(&mut self, r: IndirectRef, taint: Taint) {
+        if taint.is_tainted() {
+            *self.objects.entry(r).or_insert(Taint::CLEAR) |= taint;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndroid_dvm::IndirectRef;
+
+    #[test]
+    fn byte_granularity() {
+        let mut m = TaintMap::new();
+        m.set(0x1000, Taint::IMEI);
+        assert_eq!(m.get(0x1000), Taint::IMEI);
+        assert_eq!(m.get(0x1001), Taint::CLEAR);
+        assert_eq!(m.tainted_bytes(), 1);
+    }
+
+    #[test]
+    fn add_unions() {
+        let mut m = TaintMap::new();
+        m.add(5, Taint::SMS);
+        m.add(5, Taint::CONTACTS);
+        assert_eq!(m.get(5), Taint::SMS | Taint::CONTACTS);
+        m.add(6, Taint::CLEAR);
+        assert_eq!(m.tainted_bytes(), 1, "clear adds are free");
+    }
+
+    #[test]
+    fn set_clear_removes_entry() {
+        let mut m = TaintMap::new();
+        m.set(7, Taint::IMEI);
+        m.set(7, Taint::CLEAR);
+        assert_eq!(m.tainted_bytes(), 0);
+    }
+
+    #[test]
+    fn range_operations() {
+        let mut m = TaintMap::new();
+        m.set_range(0x100, 8, Taint::SMS);
+        assert_eq!(m.range_taint(0x100, 8), Taint::SMS);
+        assert_eq!(m.range_taint(0x108, 4), Taint::CLEAR);
+        assert_eq!(m.range_taint(0x0FC, 8), Taint::SMS, "partial overlap unions");
+        m.clear_range(0x100, 4);
+        assert_eq!(m.range_taint(0x100, 4), Taint::CLEAR);
+        assert_eq!(m.range_taint(0x104, 4), Taint::SMS);
+    }
+
+    #[test]
+    fn copy_range_models_memcpy() {
+        let mut m = TaintMap::new();
+        m.set(0x200, Taint::IMEI);
+        m.set(0x202, Taint::SMS);
+        m.copy_range(0x300, 0x200, 4);
+        assert_eq!(m.get(0x300), Taint::IMEI);
+        assert_eq!(m.get(0x301), Taint::CLEAR);
+        assert_eq!(m.get(0x302), Taint::SMS);
+    }
+
+    #[test]
+    fn copy_range_handles_overlap() {
+        let mut m = TaintMap::new();
+        m.set(0x400, Taint::IMEI);
+        m.copy_range(0x401, 0x400, 4); // overlapping forward copy
+        assert_eq!(m.get(0x401), Taint::IMEI);
+        assert_eq!(m.get(0x402), Taint::CLEAR);
+    }
+
+    #[test]
+    fn object_taints_keyed_by_indirect_ref() {
+        let mut s = ShadowState::new();
+        let r = IndirectRef(0xa890_0025);
+        assert_eq!(s.object_taint(r), Taint::CLEAR);
+        s.taint_object(r, Taint::IMEI);
+        s.taint_object(r, Taint::SMS);
+        assert_eq!(s.object_taint(r), Taint::IMEI | Taint::SMS);
+    }
+
+    #[test]
+    fn clear_regs_resets() {
+        let mut s = ShadowState::new();
+        s.regs[0] = Taint::IMEI;
+        s.vfp[3] = Taint::SMS;
+        s.clear_regs();
+        assert!(s.regs.iter().all(|t| t.is_clear()));
+        assert!(s.vfp.iter().all(|t| t.is_clear()));
+    }
+}

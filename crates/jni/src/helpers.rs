@@ -1,0 +1,121 @@
+//! Shared helpers: JNI handle encodings and taint utilities.
+
+use ndroid_dvm::{ClassId, DvmError, FieldId, IndirectRef, MethodId, ObjectId, Taint};
+use ndroid_emu::runtime::{aapcs_arg, aapcs_arg_taint, NativeCtx};
+use ndroid_emu::EmuError;
+
+/// Reads AAPCS argument `i`.
+pub fn arg(ctx: &NativeCtx<'_>, i: usize) -> u32 {
+    aapcs_arg(ctx.cpu, ctx.mem, i)
+}
+
+/// The shadow taint of AAPCS argument `i`.
+pub fn arg_taint(ctx: &NativeCtx<'_>, i: usize) -> Taint {
+    aapcs_arg_taint(ctx.cpu, ctx.shadow, i)
+}
+
+/// Whether the active analysis tracks native taint.
+pub fn tracking(ctx: &NativeCtx<'_>) -> bool {
+    ctx.analysis.tracks_native()
+}
+
+/// Sets the return-register shadow taint (cleared when not tracking).
+pub fn set_ret_taint(ctx: &mut NativeCtx<'_>, taint: Taint) {
+    ctx.shadow.regs[0] = if tracking(ctx) { taint } else { Taint::CLEAR };
+}
+
+/// Encodes a `jclass` handle.
+pub fn jclass(id: ClassId) -> u32 {
+    0xC1A5_0000 | id.0
+}
+
+/// Decodes a `jclass` handle.
+///
+/// # Errors
+///
+/// [`EmuError::Kernel`] on a malformed handle.
+pub fn class_of(handle: u32) -> Result<ClassId, EmuError> {
+    if handle & 0xFFFF_0000 == 0xC1A5_0000 {
+        Ok(ClassId(handle & 0xFFFF))
+    } else {
+        Err(EmuError::Kernel(format!("bad jclass {handle:#x}")))
+    }
+}
+
+/// Encodes a `jmethodID`.
+pub fn jmethod(id: MethodId) -> u32 {
+    id.0 + 1
+}
+
+/// Decodes a `jmethodID`.
+///
+/// # Errors
+///
+/// [`EmuError::Kernel`] on the null method id.
+pub fn method_of(handle: u32) -> Result<MethodId, EmuError> {
+    handle
+        .checked_sub(1)
+        .map(MethodId)
+        .ok_or_else(|| EmuError::Kernel("null jmethodID".into()))
+}
+
+/// Encodes a `jfieldID` (bit 31 = static, bits 30:16 = class,
+/// bits 15:0 = field index).
+pub fn jfield(f: FieldId) -> u32 {
+    ((f.is_static as u32) << 31) | ((f.class.0 & 0x7FFF) << 16) | f.index as u32
+}
+
+/// Decodes a `jfieldID`.
+pub fn field_of(handle: u32) -> FieldId {
+    FieldId {
+        class: ClassId((handle >> 16) & 0x7FFF),
+        index: (handle & 0xFFFF) as u16,
+        is_static: handle & 0x8000_0000 != 0,
+    }
+}
+
+/// Resolves an indirect-reference argument to its object id.
+///
+/// # Errors
+///
+/// [`EmuError::Dvm`] with [`DvmError::BadIndirectRef`] on stale/null refs.
+pub fn deref(ctx: &NativeCtx<'_>, raw: u32) -> Result<ObjectId, EmuError> {
+    ctx.dvm
+        .refs
+        .decode(IndirectRef(raw))
+        .map_err(EmuError::Dvm)
+}
+
+/// The full taint visible on an object reference from the native
+/// context: the shadow object map entry (keyed by indirect ref, §V-B)
+/// unioned with the DVM-level object taint.
+pub fn object_taint(ctx: &NativeCtx<'_>, raw: u32) -> Taint {
+    if !tracking(ctx) {
+        return Taint::CLEAR;
+    }
+    let shadow = ctx.shadow.object_taint(IndirectRef(raw));
+    let dvm_level = ctx
+        .dvm
+        .refs
+        .decode(IndirectRef(raw))
+        .ok()
+        .and_then(|id| ctx.dvm.heap.get(id).ok())
+        .map(|o| o.overall_taint())
+        .unwrap_or(Taint::CLEAR);
+    shadow | dvm_level
+}
+
+/// Wraps an object id as a fresh local indirect reference, recording
+/// `taint` in the shadow object map.
+pub fn new_local_ref(ctx: &mut NativeCtx<'_>, id: ObjectId, taint: Taint) -> u32 {
+    let r = ctx.dvm.refs.add(ndroid_dvm::IndirectRefKind::Local, id);
+    if tracking(ctx) {
+        ctx.shadow.taint_object(r, taint);
+    }
+    r.0
+}
+
+/// Convenience: turns a [`DvmError`] into an [`EmuError`].
+pub fn dvm_err(e: DvmError) -> EmuError {
+    EmuError::Dvm(e)
+}

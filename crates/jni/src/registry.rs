@@ -1,0 +1,322 @@
+//! Trap-address assignment and registration for the `libdvm.so`
+//! region: DVM-internal functions (hook targets for multilevel
+//! hooking) and the guest-callable JNI environment functions.
+
+use crate::calls::{self, parse_call_name};
+use crate::{arrays, objects, strings};
+use ndroid_emu::layout::LIBDVM_BASE;
+use ndroid_emu::runtime::HostTable;
+use std::sync::OnceLock;
+
+/// Spacing between function trap addresses (large enough that the
+/// `+0x10`/`+0x14`/`+0x20`/`+0x24` call-site offsets used for virtual
+/// branch events stay inside the owning function's slot).
+const STRIDE: u32 = 0x40;
+
+/// DVM-internal functions NDroid hooks (never called directly by guest
+/// code; they appear as virtual-branch targets).
+pub const DVM_INTERNAL_NAMES: &[&str] = &[
+    "dvmCallJNIMethod",
+    "dvmInterpret",
+    "dvmCallMethod",
+    "dvmCallMethodV",
+    "dvmCallMethodA",
+    "dvmDecodeIndirectRef",
+    "dvmAllocObject",
+    "dvmCreateStringFromUnicode",
+    "dvmCreateStringFromCstr",
+    "dvmAllocArrayByClass",
+    "dvmAllocPrimitiveArray",
+    "initException",
+];
+
+/// Guest-callable JNI environment functions outside the call family.
+const ENV_NAMES: &[&str] = &[
+    "NewStringUTF",
+    "NewString",
+    "GetStringUTFChars",
+    "ReleaseStringUTFChars",
+    "GetStringChars",
+    "ReleaseStringChars",
+    "GetStringLength",
+    "GetStringUTFLength",
+    "NewObject",
+    "NewObjectV",
+    "NewObjectA",
+    "NewObjectArray",
+    "NewBooleanArray",
+    "NewByteArray",
+    "NewCharArray",
+    "NewShortArray",
+    "NewIntArray",
+    "NewLongArray",
+    "NewFloatArray",
+    "NewDoubleArray",
+    "GetArrayLength",
+    "GetByteArrayElements",
+    "ReleaseByteArrayElements",
+    "GetIntArrayElements",
+    "ReleaseIntArrayElements",
+    "GetIntArrayRegion",
+    "SetIntArrayRegion",
+    "GetByteArrayRegion",
+    "SetByteArrayRegion",
+    "GetObjectArrayElement",
+    "SetObjectArrayElement",
+    "FindClass",
+    "GetMethodID",
+    "GetStaticMethodID",
+    "GetFieldID",
+    "GetStaticFieldID",
+    "GetObjectField",
+    "GetBooleanField",
+    "GetByteField",
+    "GetCharField",
+    "GetShortField",
+    "GetIntField",
+    "GetLongField",
+    "GetFloatField",
+    "GetDoubleField",
+    "SetObjectField",
+    "SetBooleanField",
+    "SetByteField",
+    "SetCharField",
+    "SetShortField",
+    "SetIntField",
+    "SetLongField",
+    "SetFloatField",
+    "SetDoubleField",
+    "GetStaticObjectField",
+    "GetStaticIntField",
+    "SetStaticObjectField",
+    "SetStaticIntField",
+    "ThrowNew",
+    "ExceptionOccurred",
+    "ExceptionClear",
+    "NewGlobalRef",
+    "DeleteGlobalRef",
+    "DeleteLocalRef",
+];
+
+/// The complete ordered name list for the libdvm region.
+pub fn jni_names() -> &'static [String] {
+    static NAMES: OnceLock<Vec<String>> = OnceLock::new();
+    NAMES.get_or_init(|| {
+        let mut v: Vec<String> = DVM_INTERNAL_NAMES.iter().map(|s| s.to_string()).collect();
+        v.extend(ENV_NAMES.iter().map(|s| s.to_string()));
+        v.extend(calls::call_family_names());
+        v
+    })
+}
+
+/// The trap address of a libdvm-region function.
+///
+/// # Panics
+///
+/// Panics on an unknown name (a workload-construction bug).
+pub fn dvm_addr(name: &str) -> u32 {
+    let i = jni_names()
+        .iter()
+        .position(|n| n == name)
+        .unwrap_or_else(|| panic!("unknown libdvm function {name}"));
+    LIBDVM_BASE + STRIDE * i as u32
+}
+
+/// Registers every guest-callable JNI function in `table`.
+///
+/// DVM-internal functions are *not* registered: they exist only as
+/// virtual branch targets; a guest branching to one is a wild branch,
+/// exactly as jumping into the middle of libdvm would misbehave.
+pub fn install_jni(table: &mut HostTable) {
+    for name in jni_names() {
+        if DVM_INTERNAL_NAMES.contains(&name.as_str()) {
+            continue;
+        }
+        let addr = dvm_addr(name);
+        if let Some((is_static, form)) = parse_call_name(name) {
+            let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+            table.register(addr, leaked, move |ctx, t| {
+                calls::call_method(ctx, t, leaked, is_static, form)
+            });
+            continue;
+        }
+        match name.as_str() {
+            "NewStringUTF" => table.register(addr, "NewStringUTF", |ctx, _| {
+                strings::new_string_utf(ctx)
+            }),
+            "NewString" => {
+                table.register(addr, "NewString", |ctx, _| strings::new_string(ctx))
+            }
+            "GetStringUTFChars" => table.register(addr, "GetStringUTFChars", |ctx, _| {
+                strings::get_string_utf_chars(ctx)
+            }),
+            "ReleaseStringUTFChars" => table.register(addr, "ReleaseStringUTFChars", |ctx, _| {
+                strings::release_string_utf_chars(ctx)
+            }),
+            "GetStringChars" => table.register(addr, "GetStringChars", |ctx, _| {
+                strings::get_string_chars(ctx)
+            }),
+            "ReleaseStringChars" => table.register(addr, "ReleaseStringChars", |ctx, _| {
+                strings::release_string_chars(ctx)
+            }),
+            "GetStringLength" => table.register(addr, "GetStringLength", |ctx, _| {
+                strings::get_string_length(ctx)
+            }),
+            "GetStringUTFLength" => table.register(addr, "GetStringUTFLength", |ctx, _| {
+                strings::get_string_utf_length(ctx)
+            }),
+            "NewObject" => {
+                table.register(addr, "NewObject", |ctx, _| objects::new_object(ctx, "NewObject"))
+            }
+            "NewObjectV" => table.register(addr, "NewObjectV", |ctx, _| {
+                objects::new_object(ctx, "NewObjectV")
+            }),
+            "NewObjectA" => table.register(addr, "NewObjectA", |ctx, _| {
+                objects::new_object(ctx, "NewObjectA")
+            }),
+            "NewObjectArray" => table.register(addr, "NewObjectArray", |ctx, _| {
+                arrays::new_object_array(ctx)
+            }),
+            "NewByteArray" => {
+                table.register(addr, "NewByteArray", |ctx, _| arrays::new_byte_array(ctx))
+            }
+            "NewBooleanArray" | "NewCharArray" | "NewShortArray" | "NewIntArray"
+            | "NewLongArray" | "NewFloatArray" | "NewDoubleArray" => {
+                let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+                table.register(addr, leaked, move |ctx, _| {
+                    arrays::new_primitive_array(ctx, leaked)
+                });
+            }
+            "GetArrayLength" => table.register(addr, "GetArrayLength", |ctx, _| {
+                arrays::get_array_length(ctx)
+            }),
+            "GetByteArrayElements" => table.register(addr, "GetByteArrayElements", |ctx, _| {
+                arrays::get_byte_array_elements(ctx)
+            }),
+            "ReleaseByteArrayElements" => {
+                table.register(addr, "ReleaseByteArrayElements", |ctx, _| {
+                    arrays::release_byte_array_elements(ctx)
+                })
+            }
+            "GetIntArrayElements" => table.register(addr, "GetIntArrayElements", |ctx, _| {
+                arrays::get_int_array_elements(ctx)
+            }),
+            "ReleaseIntArrayElements" => {
+                table.register(addr, "ReleaseIntArrayElements", |ctx, _| {
+                    arrays::release_int_array_elements(ctx)
+                })
+            }
+            "GetIntArrayRegion" => table.register(addr, "GetIntArrayRegion", |ctx, _| {
+                arrays::get_int_array_region(ctx)
+            }),
+            "SetIntArrayRegion" => table.register(addr, "SetIntArrayRegion", |ctx, _| {
+                arrays::set_int_array_region(ctx)
+            }),
+            "GetByteArrayRegion" => table.register(addr, "GetByteArrayRegion", |ctx, _| {
+                arrays::get_byte_array_region(ctx)
+            }),
+            "SetByteArrayRegion" => table.register(addr, "SetByteArrayRegion", |ctx, _| {
+                arrays::set_byte_array_region(ctx)
+            }),
+            "GetObjectArrayElement" => table.register(addr, "GetObjectArrayElement", |ctx, _| {
+                arrays::get_object_array_element(ctx)
+            }),
+            "SetObjectArrayElement" => table.register(addr, "SetObjectArrayElement", |ctx, _| {
+                arrays::set_object_array_element(ctx)
+            }),
+            "FindClass" => table.register(addr, "FindClass", |ctx, _| objects::find_class(ctx)),
+            "GetMethodID" => {
+                table.register(addr, "GetMethodID", |ctx, _| objects::get_method_id(ctx))
+            }
+            "GetStaticMethodID" => table.register(addr, "GetStaticMethodID", |ctx, _| {
+                objects::get_static_method_id(ctx)
+            }),
+            "GetFieldID" => {
+                table.register(addr, "GetFieldID", |ctx, _| objects::get_field_id(ctx))
+            }
+            "GetStaticFieldID" => table.register(addr, "GetStaticFieldID", |ctx, _| {
+                objects::get_static_field_id(ctx)
+            }),
+            "GetObjectField" => table.register(addr, "GetObjectField", |ctx, _| {
+                objects::get_object_field(ctx)
+            }),
+            "GetBooleanField" | "GetByteField" | "GetCharField" | "GetShortField"
+            | "GetIntField" | "GetLongField" | "GetFloatField" | "GetDoubleField" => {
+                let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+                table.register(addr, leaked, |ctx, _| objects::get_field(ctx));
+            }
+            "SetObjectField" => table.register(addr, "SetObjectField", |ctx, _| {
+                objects::set_object_field(ctx)
+            }),
+            "SetBooleanField" | "SetByteField" | "SetCharField" | "SetShortField"
+            | "SetIntField" | "SetLongField" | "SetFloatField" | "SetDoubleField" => {
+                let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+                table.register(addr, leaked, |ctx, _| objects::set_field(ctx));
+            }
+            "GetStaticObjectField" => table.register(addr, "GetStaticObjectField", |ctx, _| {
+                objects::get_static_object_field(ctx)
+            }),
+            "GetStaticIntField" => table.register(addr, "GetStaticIntField", |ctx, _| {
+                objects::get_static_field(ctx)
+            }),
+            "SetStaticObjectField" => table.register(addr, "SetStaticObjectField", |ctx, _| {
+                objects::set_static_object_field(ctx)
+            }),
+            "SetStaticIntField" => table.register(addr, "SetStaticIntField", |ctx, _| {
+                objects::set_static_field(ctx)
+            }),
+            "ThrowNew" => table.register(addr, "ThrowNew", |ctx, _| calls::throw_new(ctx)),
+            "ExceptionOccurred" => table.register(addr, "ExceptionOccurred", |ctx, _| {
+                calls::exception_occurred(ctx)
+            }),
+            "ExceptionClear" => table.register(addr, "ExceptionClear", |ctx, _| {
+                calls::exception_clear(ctx)
+            }),
+            "NewGlobalRef" => {
+                table.register(addr, "NewGlobalRef", |ctx, _| calls::new_global_ref(ctx))
+            }
+            "DeleteGlobalRef" => table.register(addr, "DeleteGlobalRef", |ctx, _| {
+                calls::delete_global_ref(ctx)
+            }),
+            "DeleteLocalRef" => table.register(addr, "DeleteLocalRef", |ctx, _| {
+                calls::delete_local_ref(ctx)
+            }),
+            other => unreachable!("unhandled JNI function {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_unique_and_addressable() {
+        let names = jni_names();
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len(), "duplicate names");
+        assert_eq!(dvm_addr("dvmCallJNIMethod"), LIBDVM_BASE);
+        assert!(dvm_addr("NewStringUTF") > LIBDVM_BASE);
+        assert!(dvm_addr("CallStaticDoubleMethodA") > dvm_addr("CallVoidMethod"));
+    }
+
+    #[test]
+    fn install_covers_all_callable() {
+        let mut table = HostTable::new();
+        install_jni(&mut table);
+        let expected = jni_names().len() - DVM_INTERNAL_NAMES.len();
+        assert_eq!(table.len(), expected);
+        assert!(table.name_at(dvm_addr("NewStringUTF")).is_some());
+        assert!(table.name_at(dvm_addr("CallVoidMethodA")).is_some());
+        assert!(
+            table.name_at(dvm_addr("dvmInterpret")).is_none(),
+            "internals are branch targets, not callables"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown libdvm function")]
+    fn unknown_name_panics() {
+        dvm_addr("NotAJniFunction");
+    }
+}

@@ -1,0 +1,259 @@
+//! Deterministic trap-address assignment and host-table registration
+//! for the modeled functions.
+//!
+//! NDroid "manually disassemble\[s\] libdvm.so, libc.so, libm.so … and
+//! determine\[s\] the offsets of these functions", then keeps "a list of
+//! their addresses and the corresponding analysis functions" (§V-G).
+//! Here the offsets are assigned by position in the name lists, so
+//! assemblers and the host table agree by construction.
+
+use crate::{math, stdio, string_fns, syscalls};
+use ndroid_emu::layout::{LIBC_BASE, LIBM_BASE};
+use ndroid_emu::runtime::{HostTable, NativeCtx};
+use ndroid_emu::EmuError;
+
+/// Spacing between function trap addresses.
+const STRIDE: u32 = 0x20;
+
+/// All libc-region functions (Table VI libc row + Table VII), in
+/// address order.
+pub const LIBC_NAMES: &[&str] = &[
+    // Table VI — modeled standard methods (libc).
+    "memcpy", "free", "malloc", "memset", "strlen", "strcmp", "realloc", "strcpy", "memcmp",
+    "strncmp", "memmove", "sprintf", "strncpy", "fprintf", "strchr", "snprintf", "calloc",
+    "strstr", "atoi", "strrchr", "memchr", "strcat", "sscanf", "vsnprintf", "strcasecmp",
+    "strdup", "strncasecmp", "strtoul", "sysconf", "vsprintf", "vfprintf", "atol",
+    // Table VII — hooked standard library calls.
+    "fwrite", "fclose", "fopen", "fread", "close", "write", "fputc", "read", "fputs", "open",
+    "fcntl", "fstat", "munmap", "mmap", "dlopen", "stat", "fgets", "socket", "connect", "send",
+    "recv", "dlsym", "bind", "dlclose", "ioctl", "listen", "mkdir", "accept", "select", "getc",
+    "rename", "sendto", "recvfrom", "fdopen", "mprotect", "remove", "kill", "fork", "execve",
+    "chown", "ptrace", "openDexFile",
+];
+
+/// All libm-region functions (Table VI libm row), in address order.
+pub const LIBM_NAMES: &[&str] = &[
+    "sin", "pow", "cos", "sqrt", "floor", "log", "strtod", "strtol", "exp", "atan2", "sinf",
+    "ceil", "cosf", "sqrtf", "tan", "acos", "log10", "atan", "asin", "ldexp", "sinh", "cosh",
+    "fmod", "powf", "atan2f", "expf",
+];
+
+/// The starred sink functions of Table VII (plus `fprintf`, which the
+/// Fig. 8 PoC treats as a sink).
+pub const SINK_NAMES: &[&str] = &[
+    "fwrite", "write", "fputc", "fputs", "send", "sendto", "fprintf",
+];
+
+/// The trap address of a libc-region function.
+///
+/// # Panics
+///
+/// Panics on an unknown name (a workload-construction bug).
+pub fn libc_addr(name: &str) -> u32 {
+    let i = LIBC_NAMES
+        .iter()
+        .position(|n| *n == name)
+        .unwrap_or_else(|| panic!("unknown libc function {name}"));
+    LIBC_BASE + STRIDE * i as u32
+}
+
+/// The trap address of a libm-region function.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn libm_addr(name: &str) -> u32 {
+    let i = LIBM_NAMES
+        .iter()
+        .position(|n| *n == name)
+        .unwrap_or_else(|| panic!("unknown libm function {name}"));
+    LIBM_BASE + STRIDE * i as u32
+}
+
+/// Whether `name` is a leak sink.
+pub fn is_sink(name: &str) -> bool {
+    SINK_NAMES.contains(&name)
+}
+
+type Impl = fn(&mut NativeCtx<'_>) -> Result<u32, EmuError>;
+
+fn libc_impl(name: &str) -> Option<Impl> {
+    Some(match name {
+        "memcpy" => string_fns::memcpy,
+        "free" => string_fns::free,
+        "malloc" => string_fns::malloc,
+        "memset" => string_fns::memset,
+        "strlen" => string_fns::strlen,
+        "strcmp" => string_fns::strcmp,
+        "realloc" => string_fns::realloc,
+        "strcpy" => string_fns::strcpy,
+        "memcmp" => string_fns::memcmp,
+        "strncmp" => string_fns::strncmp,
+        "memmove" => string_fns::memmove,
+        "sprintf" => stdio::sprintf,
+        "strncpy" => string_fns::strncpy,
+        "fprintf" => stdio::fprintf,
+        "strchr" => string_fns::strchr,
+        "snprintf" => stdio::snprintf,
+        "calloc" => string_fns::calloc,
+        "strstr" => string_fns::strstr,
+        "atoi" => string_fns::atoi,
+        "strrchr" => string_fns::strrchr,
+        "memchr" => string_fns::memchr,
+        "strcat" => string_fns::strcat,
+        "sscanf" => string_fns::sscanf,
+        "vsnprintf" => stdio::vsnprintf,
+        "strcasecmp" => string_fns::strcasecmp,
+        "strdup" => string_fns::strdup,
+        "strncasecmp" => string_fns::strncasecmp,
+        "strtoul" => string_fns::strtoul,
+        "sysconf" => string_fns::sysconf,
+        "vsprintf" => stdio::vsprintf,
+        "vfprintf" => stdio::vfprintf,
+        "atol" => string_fns::atol,
+        "fwrite" => stdio::fwrite,
+        "fclose" => stdio::fclose,
+        "fopen" => stdio::fopen,
+        "fread" => stdio::fread,
+        "close" => syscalls::close,
+        "write" => syscalls::write,
+        "fputc" => stdio::fputc,
+        "read" => syscalls::read,
+        "fputs" => stdio::fputs,
+        "open" => syscalls::open,
+        "munmap" => syscalls::munmap,
+        "mmap" => syscalls::mmap,
+        "dlopen" => syscalls::dlopen,
+        "fgets" => stdio::fgets,
+        "socket" => syscalls::socket,
+        "connect" => syscalls::connect,
+        "send" => syscalls::send,
+        "recv" => syscalls::recv,
+        "getc" => stdio::getc,
+        "sendto" => syscalls::sendto,
+        "recvfrom" => syscalls::recvfrom,
+        "fdopen" => stdio::fdopen,
+        _ => return None, // observed stubs
+    })
+}
+
+fn libm_impl(name: &str) -> Option<Impl> {
+    Some(match name {
+        "sin" => math::sin,
+        "pow" => math::pow,
+        "cos" => math::cos,
+        "sqrt" => math::sqrt,
+        "floor" => math::floor,
+        "log" => math::log,
+        "strtod" => math::strtod,
+        "strtol" => string_fns::strtol,
+        "exp" => math::exp,
+        "atan2" => math::atan2,
+        "sinf" => math::sinf,
+        "ceil" => math::ceil,
+        "cosf" => math::cosf,
+        "sqrtf" => math::sqrtf,
+        "tan" => math::tan,
+        "acos" => math::acos,
+        "log10" => math::log10,
+        "atan" => math::atan,
+        "asin" => math::asin,
+        "ldexp" => math::ldexp,
+        "sinh" => math::sinh,
+        "cosh" => math::cosh,
+        "fmod" => math::fmod,
+        "powf" => math::powf,
+        "atan2f" => math::atan2f,
+        "expf" => math::expf,
+        _ => return None,
+    })
+}
+
+/// Registers all libc-region functions in `table`.
+pub fn install_libc(table: &mut HostTable) {
+    for (i, name) in LIBC_NAMES.iter().enumerate() {
+        let addr = LIBC_BASE + STRIDE * i as u32;
+        let name: &'static str = name;
+        match libc_impl(name) {
+            Some(f) => table.register(addr, name, move |ctx, _t| f(ctx)),
+            None => {
+                let stub = syscalls::observed_stub(name);
+                table.register(addr, name, move |ctx, _t| stub(ctx));
+            }
+        }
+    }
+}
+
+/// Registers all libm-region functions in `table`.
+pub fn install_libm(table: &mut HostTable) {
+    for (i, name) in LIBM_NAMES.iter().enumerate() {
+        let addr = LIBM_BASE + STRIDE * i as u32;
+        let name: &'static str = name;
+        match libm_impl(name) {
+            Some(f) => table.register(addr, name, move |ctx, _t| f(ctx)),
+            None => {
+                let stub = syscalls::observed_stub(name);
+                table.register(addr, name, move |ctx, _t| stub(ctx));
+            }
+        }
+    }
+}
+
+/// Registers everything (libc + libm).
+pub fn install_all(table: &mut HostTable) {
+    install_libc(table);
+    install_libm(table);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_are_deterministic_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for n in LIBC_NAMES {
+            assert!(seen.insert(libc_addr(n)), "dup addr for {n}");
+        }
+        for n in LIBM_NAMES {
+            assert!(seen.insert(libm_addr(n)), "dup addr for {n}");
+        }
+        assert_eq!(libc_addr("memcpy"), LIBC_BASE);
+        assert_eq!(libm_addr("sin"), LIBM_BASE);
+    }
+
+    #[test]
+    fn all_functions_register() {
+        let mut table = HostTable::new();
+        install_all(&mut table);
+        assert_eq!(table.len(), LIBC_NAMES.len() + LIBM_NAMES.len());
+        assert_eq!(table.name_at(libc_addr("memcpy")), Some("memcpy"));
+        assert_eq!(table.name_at(libm_addr("powf")), Some("powf"));
+    }
+
+    #[test]
+    fn table_counts_match_paper() {
+        // Table VI models 32 libc + 26 libm functions.
+        let table6_libc = &LIBC_NAMES[..32];
+        assert_eq!(table6_libc.len(), 32);
+        assert!(table6_libc.contains(&"memcpy"));
+        assert!(table6_libc.contains(&"atol"));
+        assert_eq!(LIBM_NAMES.len(), 26);
+    }
+
+    #[test]
+    fn sink_classification() {
+        for s in SINK_NAMES {
+            assert!(is_sink(s));
+        }
+        assert!(!is_sink("memcpy"));
+        assert!(!is_sink("read"));
+        assert!(!is_sink("recv"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown libc function")]
+    fn unknown_name_panics() {
+        libc_addr("no_such_fn");
+    }
+}

@@ -1,0 +1,176 @@
+//! The raw system-call layer of Table VII: fd-based I/O, sockets,
+//! memory mapping, and the remaining hooked calls (stubs that are
+//! still observed/logged, since NDroid hooks them to characterize
+//! behaviour even when they carry no taint).
+
+use crate::helpers::{arg, cstr_lossy, set_ret_taint, tracking};
+use ndroid_dvm::Taint;
+use ndroid_emu::runtime::NativeCtx;
+use ndroid_emu::EmuError;
+
+/// `int open(const char *path, int flags)` — flags bit 6 (`O_CREAT`)
+/// creates.
+pub fn open(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
+    let path = cstr_lossy(ctx, arg(ctx, 0));
+    let flags = arg(ctx, 1);
+    let create = flags & 0o100 != 0 || flags & 0x3 != 0; // O_CREAT or write modes
+    set_ret_taint(ctx, Taint::CLEAR);
+    match ctx.kernel.open(&path, create) {
+        Ok(fd) => Ok(fd as u32),
+        Err(_) => Ok(u32::MAX), // -1
+    }
+}
+
+/// `int close(int fd)`
+pub fn close(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
+    let fd = arg(ctx, 0) as i32;
+    set_ret_taint(ctx, Taint::CLEAR);
+    Ok(match ctx.kernel.close(fd) {
+        Ok(()) => 0,
+        Err(_) => u32::MAX,
+    })
+}
+
+/// `ssize_t read(int fd, void *buf, size_t n)`
+pub fn read(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
+    let (fd, buf, n) = (arg(ctx, 0) as i32, arg(ctx, 1), arg(ctx, 2));
+    let data = ctx.kernel.read(fd, n as usize)?;
+    ctx.mem.write_bytes(buf, &data);
+    if tracking(ctx) {
+        ctx.shadow.mem.clear_range(buf, data.len() as u32);
+    }
+    set_ret_taint(ctx, Taint::CLEAR);
+    Ok(data.len() as u32)
+}
+
+/// `ssize_t write(int fd, const void *buf, size_t n)` — **sink**.
+pub fn write(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
+    let (fd, buf, n) = (arg(ctx, 0) as i32, arg(ctx, 1), arg(ctx, 2));
+    let data = ctx.mem.read_bytes(buf, n as usize);
+    let taint = if tracking(ctx) {
+        ctx.shadow.mem.range_taint(buf, n)
+    } else {
+        Taint::CLEAR
+    };
+    let written = ctx.kernel.write(fd, &data, taint)?;
+    set_ret_taint(ctx, Taint::CLEAR);
+    Ok(written as u32)
+}
+
+/// `int socket(int domain, int type, int protocol)`
+pub fn socket(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
+    set_ret_taint(ctx, Taint::CLEAR);
+    Ok(ctx.kernel.socket() as u32)
+}
+
+/// `int connect(int fd, const struct sockaddr *addr, socklen_t len)` —
+/// the sockaddr is modeled as a C string naming the destination.
+pub fn connect(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
+    let fd = arg(ctx, 0) as i32;
+    let dest = cstr_lossy(ctx, arg(ctx, 1));
+    ctx.trace
+        .push("libc", format!("TrustCallHandler[connect] fd={fd} dest={dest}"));
+    set_ret_taint(ctx, Taint::CLEAR);
+    Ok(match ctx.kernel.connect(fd, &dest) {
+        Ok(()) => 0,
+        Err(_) => u32::MAX,
+    })
+}
+
+/// `ssize_t send(int fd, const void *buf, size_t n, int flags)` — **sink**.
+pub fn send(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
+    let (fd, buf, n) = (arg(ctx, 0) as i32, arg(ctx, 1), arg(ctx, 2));
+    let data = ctx.mem.read_bytes(buf, n as usize);
+    let taint = if tracking(ctx) {
+        ctx.shadow.mem.range_taint(buf, n)
+    } else {
+        Taint::CLEAR
+    };
+    ctx.trace.push(
+        "sink",
+        format!(
+            "SinkHandler[send] fd={fd} taint={taint} data='{}'",
+            String::from_utf8_lossy(&data)
+        ),
+    );
+    let sent = ctx.kernel.send(fd, &data, taint)?;
+    set_ret_taint(ctx, Taint::CLEAR);
+    Ok(sent as u32)
+}
+
+/// `ssize_t sendto(int fd, const void *buf, size_t n, int flags,
+/// const struct sockaddr *dest, socklen_t len)` — **sink** (Fig. 7's
+/// ePhone leak fires here).
+pub fn sendto(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
+    let (fd, buf, n) = (arg(ctx, 0) as i32, arg(ctx, 1), arg(ctx, 2));
+    let dest = cstr_lossy(ctx, arg(ctx, 4));
+    let data = ctx.mem.read_bytes(buf, n as usize);
+    let taint = if tracking(ctx) {
+        ctx.shadow.mem.range_taint(buf, n)
+    } else {
+        Taint::CLEAR
+    };
+    ctx.trace.push(
+        "sink",
+        format!(
+            "SinkHandler[sendto] fd={fd} dest={dest} taint={taint} data='{}'",
+            String::from_utf8_lossy(&data)
+        ),
+    );
+    let sent = ctx.kernel.sendto(fd, &data, &dest, taint)?;
+    set_ret_taint(ctx, Taint::CLEAR);
+    Ok(sent as u32)
+}
+
+/// `ssize_t recv(int fd, void *buf, size_t n, int flags)`
+pub fn recv(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
+    set_ret_taint(ctx, Taint::CLEAR);
+    Ok(0) // nothing to receive in the simulated network
+}
+
+/// `ssize_t recvfrom(...)`
+pub fn recvfrom(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
+    set_ret_taint(ctx, Taint::CLEAR);
+    Ok(0)
+}
+
+/// `void *mmap(void *addr, size_t len, …)`
+pub fn mmap(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
+    let len = arg(ctx, 1);
+    set_ret_taint(ctx, Taint::CLEAR);
+    Ok(ctx.kernel.heap.malloc(len))
+}
+
+/// `int munmap(void *addr, size_t len)`
+pub fn munmap(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
+    let addr = arg(ctx, 0);
+    if tracking(ctx) {
+        if let Some(size) = ctx.kernel.heap.size_of(addr) {
+            ctx.shadow.mem.clear_range(addr, size);
+        }
+    }
+    ctx.kernel.heap.free(addr);
+    set_ret_taint(ctx, Taint::CLEAR);
+    Ok(0)
+}
+
+/// `void *dlopen(const char *name, int flags)` — returns an opaque
+/// non-zero handle.
+pub fn dlopen(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
+    let name = cstr_lossy(ctx, arg(ctx, 0));
+    ctx.trace
+        .push("libc", format!("TrustCallHandler[dlopen] '{name}'"));
+    set_ret_taint(ctx, Taint::CLEAR);
+    Ok(0xD10_0001)
+}
+
+/// A hooked call that is observed but modeled as a success-returning
+/// stub (Table VII entries with no dataflow in the reproduction).
+pub fn observed_stub(name: &'static str) -> impl Fn(&mut NativeCtx<'_>) -> Result<u32, EmuError> {
+    move |ctx| {
+        ctx.trace
+            .push("libc", format!("TrustCallHandler[{name}]"));
+        set_ret_taint(ctx, Taint::CLEAR);
+        Ok(0)
+    }
+}

@@ -1,0 +1,279 @@
+//! Additional coverage of the modeled libc functions: padding,
+//! truncation, endptr semantics, allocator growth, and the va_list
+//! printf variants — all via genuine guest code.
+
+use ndroid_arm::reg::RegList;
+use ndroid_arm::{Assembler, Cpu, Memory, Reg};
+use ndroid_dvm::{Dvm, Program, Taint};
+use ndroid_emu::layout;
+use ndroid_emu::runtime::{call_guest, Analysis, HostTable, NativeCtx};
+use ndroid_emu::{Kernel, ShadowState, TraceLog};
+use ndroid_libc::{install_all, libc_addr};
+
+struct TrackOnly;
+impl Analysis for TrackOnly {
+    fn tracks_native(&self) -> bool {
+        true
+    }
+}
+
+struct World {
+    cpu: Cpu,
+    mem: Memory,
+    dvm: Dvm,
+    shadow: ShadowState,
+    kernel: Kernel,
+    trace: TraceLog,
+    budget: u64,
+    table: HostTable,
+}
+
+impl World {
+    fn new() -> World {
+        let mut cpu = Cpu::new();
+        cpu.regs[13] = layout::NATIVE_STACK_TOP;
+        let mut table = HostTable::new();
+        install_all(&mut table);
+        World {
+            cpu,
+            mem: Memory::new(),
+            dvm: Dvm::new(Program::new()),
+            shadow: ShadowState::new(),
+            kernel: Kernel::new(),
+            trace: TraceLog::new(),
+            budget: 1_000_000,
+            table,
+        }
+    }
+
+    fn run(&mut self, build: impl FnOnce(&mut Assembler)) -> u32 {
+        let mut asm = Assembler::new(layout::NATIVE_CODE_BASE);
+        asm.push(RegList::of(&[Reg::R4, Reg::LR]));
+        build(&mut asm);
+        asm.pop(RegList::of(&[Reg::R4, Reg::PC]));
+        let code = asm.assemble().unwrap();
+        self.mem.write_bytes(code.base, &code.bytes);
+        let mut analysis = TrackOnly;
+        let mut ctx = NativeCtx {
+            cpu: &mut self.cpu,
+            mem: &mut self.mem,
+            dvm: &mut self.dvm,
+            shadow: &mut self.shadow,
+            kernel: &mut self.kernel,
+            trace: &mut self.trace,
+            analysis: &mut analysis,
+            budget: &mut self.budget,
+        };
+        call_guest(&mut ctx, &self.table, code.base, &[], |_, _| {})
+            .unwrap()
+            .0
+    }
+}
+
+const A: u32 = 0x2000_0000;
+const B: u32 = 0x2000_1000;
+const C: u32 = 0x2000_2000;
+
+#[test]
+fn strncpy_pads_with_nul_and_clears_taint() {
+    let mut w = World::new();
+    w.mem.write_cstr(A, b"hi");
+    w.shadow.mem.set_range(A, 2, Taint::IMEI);
+    w.shadow.mem.set_range(B, 8, Taint::SMS); // stale taint to be cleared
+    w.run(|asm| {
+        asm.ldr_const(Reg::R0, B);
+        asm.ldr_const(Reg::R1, A);
+        asm.mov_imm(Reg::R2, 8).unwrap();
+        asm.call_abs(libc_addr("strncpy"));
+    });
+    assert_eq!(w.mem.read_bytes(B, 8), b"hi\0\0\0\0\0\0");
+    assert_eq!(w.shadow.mem.range_taint(B, 2), Taint::IMEI);
+    assert_eq!(w.shadow.mem.range_taint(B + 2, 6), Taint::CLEAR, "padding clean");
+}
+
+#[test]
+fn strtoul_sets_endptr_and_carries_taint() {
+    let mut w = World::new();
+    w.mem.write_cstr(A, b"  1234xyz");
+    w.shadow.mem.set_range(A, 9, Taint::PHONE_NUMBER);
+    let v = w.run(|asm| {
+        asm.ldr_const(Reg::R0, A);
+        asm.ldr_const(Reg::R1, B); // endptr out
+        asm.mov_imm(Reg::R2, 10).unwrap();
+        asm.call_abs(libc_addr("strtoul"));
+        asm.ldr_const(Reg::R1, C);
+        asm.str(Reg::R0, Reg::R1, 0);
+    });
+    let _ = v;
+    assert_eq!(w.mem.read_u32(C), 1234);
+    assert_eq!(w.mem.read_u32(B), A + 6, "endptr past the digits");
+}
+
+#[test]
+fn realloc_grows_and_preserves_taint() {
+    let mut w = World::new();
+    let p = w.run(|asm| {
+        asm.mov_imm(Reg::R0, 8).unwrap();
+        asm.call_abs(libc_addr("malloc"));
+        asm.ldr_const(Reg::R1, C);
+        asm.str(Reg::R0, Reg::R1, 0);
+    });
+    let _ = p;
+    let p = w.mem.read_u32(C);
+    w.mem.write_bytes(p, b"secret!!");
+    w.shadow.mem.set_range(p, 8, Taint::CONTACTS);
+    w.run(|asm| {
+        asm.ldr_const(Reg::R1, C);
+        asm.ldr(Reg::R0, Reg::R1, 0);
+        asm.mov_imm(Reg::R1, 64).unwrap();
+        asm.call_abs(libc_addr("realloc"));
+        asm.ldr_const(Reg::R1, C);
+        asm.str(Reg::R0, Reg::R1, 4);
+    });
+    let np = w.mem.read_u32(C + 4);
+    assert_ne!(np, 0);
+    assert_eq!(w.mem.read_bytes(np, 8), b"secret!!");
+    assert_eq!(w.shadow.mem.range_taint(np, 8), Taint::CONTACTS);
+    assert_eq!(
+        w.shadow.mem.range_taint(p, 8),
+        Taint::CLEAR,
+        "old block's taint cleared on free"
+    );
+}
+
+#[test]
+fn snprintf_truncates_to_size() {
+    let mut w = World::new();
+    w.mem.write_cstr(A, b"value=%d end");
+    let n = w.run(|asm| {
+        asm.ldr_const(Reg::R0, B);
+        asm.mov_imm(Reg::R1, 8).unwrap(); // size incl. NUL
+        asm.ldr_const(Reg::R2, A);
+        asm.ldr_const(Reg::R3, 1234);
+        asm.call_abs(libc_addr("snprintf"));
+    });
+    let _ = n;
+    assert_eq!(w.mem.read_cstr(B), b"value=1", "truncated to 7 chars + NUL");
+}
+
+#[test]
+fn vsprintf_reads_va_list_from_memory() {
+    let mut w = World::new();
+    w.mem.write_cstr(A, b"%s-%d");
+    w.mem.write_cstr(C, b"id");
+    // va_list block: [ptr to "id", 77]
+    w.mem.write_u32(B, C);
+    w.mem.write_u32(B + 4, 77);
+    w.shadow.mem.set_range(C, 2, Taint::ACCOUNT);
+    w.run(|asm| {
+        asm.ldr_const(Reg::R0, B + 0x100); // dst
+        asm.ldr_const(Reg::R1, A); // fmt
+        asm.ldr_const(Reg::R2, B); // va_list
+        asm.call_abs(libc_addr("vsprintf"));
+    });
+    assert_eq!(w.mem.read_cstr(B + 0x100), b"id-77");
+    assert_eq!(
+        w.shadow.mem.range_taint(B + 0x100, 2),
+        Taint::ACCOUNT,
+        "%s bytes tainted"
+    );
+}
+
+#[test]
+fn strdup_allocates_and_copies_taint() {
+    let mut w = World::new();
+    w.mem.write_cstr(A, b"dup-me");
+    w.shadow.mem.set_range(A, 6, Taint::IMSI);
+    w.run(|asm| {
+        asm.ldr_const(Reg::R0, A);
+        asm.call_abs(libc_addr("strdup"));
+        asm.ldr_const(Reg::R1, C);
+        asm.str(Reg::R0, Reg::R1, 0);
+    });
+    let p = w.mem.read_u32(C);
+    assert!(layout::in_native_heap(p));
+    assert_eq!(w.mem.read_cstr(p), b"dup-me");
+    assert_eq!(w.shadow.mem.range_taint(p, 6), Taint::IMSI);
+}
+
+#[test]
+fn atoi_handles_sign_and_garbage() {
+    let mut w = World::new();
+    w.mem.write_cstr(A, b"  -42abc");
+    let v = w.run(|asm| {
+        asm.ldr_const(Reg::R0, A);
+        asm.call_abs(libc_addr("atoi"));
+        asm.ldr_const(Reg::R1, C);
+        asm.str(Reg::R0, Reg::R1, 0);
+    });
+    let _ = v;
+    assert_eq!(w.mem.read_u32(C) as i32, -42);
+}
+
+#[test]
+fn strcasecmp_ignores_case() {
+    let mut w = World::new();
+    w.mem.write_cstr(A, b"HeLLo");
+    w.mem.write_cstr(B, b"hello");
+    w.run(|asm| {
+        asm.ldr_const(Reg::R0, A);
+        asm.ldr_const(Reg::R1, B);
+        asm.call_abs(libc_addr("strcasecmp"));
+        asm.ldr_const(Reg::R1, C);
+        asm.str(Reg::R0, Reg::R1, 0);
+    });
+    assert_eq!(w.mem.read_u32(C), 0);
+}
+
+#[test]
+fn fgets_reads_line_by_line() {
+    let mut w = World::new();
+    w.kernel
+        .fs
+        .insert("/data/lines".into(), b"one\ntwo\n".to_vec());
+    w.mem.write_cstr(A, b"/data/lines");
+    w.mem.write_cstr(A + 0x40, b"r");
+    w.run(|asm| {
+        asm.ldr_const(Reg::R0, A);
+        asm.ldr_const(Reg::R1, A + 0x40);
+        asm.call_abs(libc_addr("fopen"));
+        asm.mov(Reg::R4, Reg::R0);
+        asm.ldr_const(Reg::R0, B);
+        asm.mov_imm(Reg::R1, 64).unwrap();
+        asm.mov(Reg::R2, Reg::R4);
+        asm.call_abs(libc_addr("fgets"));
+        asm.mov(Reg::R0, Reg::R4);
+        asm.call_abs(libc_addr("fclose"));
+    });
+    assert_eq!(w.mem.read_cstr(B), b"one\n");
+}
+
+#[test]
+fn memset_taints_with_value_register() {
+    let mut w = World::new();
+    w.shadow.regs[1] = Taint::CLEAR;
+    w.run(|asm| {
+        asm.ldr_const(Reg::R0, B);
+        asm.mov_imm(Reg::R1, 0x5A).unwrap();
+        asm.mov_imm(Reg::R2, 16).unwrap();
+        asm.call_abs(libc_addr("memset"));
+    });
+    assert_eq!(w.mem.read_bytes(B, 4), [0x5A; 4]);
+    assert_eq!(w.shadow.mem.range_taint(B, 16), Taint::CLEAR);
+}
+
+#[test]
+fn memcmp_equal_and_different() {
+    let mut w = World::new();
+    w.mem.write_bytes(A, b"abcd");
+    w.mem.write_bytes(B, b"abcd");
+    w.run(|asm| {
+        asm.ldr_const(Reg::R0, A);
+        asm.ldr_const(Reg::R1, B);
+        asm.mov_imm(Reg::R2, 4).unwrap();
+        asm.call_abs(libc_addr("memcmp"));
+        asm.ldr_const(Reg::R1, C);
+        asm.str(Reg::R0, Reg::R1, 0);
+    });
+    assert_eq!(w.mem.read_u32(C), 0);
+}

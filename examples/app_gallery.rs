@@ -1,0 +1,50 @@
+//! Gallery: run every workload app in the suite under NDroid and print
+//! a one-line verdict for each — a fast tour of what the analysis sees.
+//!
+//! ```sh
+//! cargo run --example app_gallery
+//! ```
+
+use ndroid::apps::*;
+use ndroid::core::report::describe_leak;
+use ndroid::core::Mode;
+
+fn verdict(app: App) {
+    let name = app.name.clone();
+    let description = app.description.clone();
+    match app.run(Mode::NDroid) {
+        Ok(sys) => {
+            let leaks = sys.leaks();
+            if leaks.is_empty() {
+                println!("  CLEAN  {name:<24} {description}");
+            } else {
+                println!("  LEAK   {name:<24} {}", describe_leak(leaks[0]));
+            }
+        }
+        Err(e) => println!("  ERROR  {name:<24} {e}"),
+    }
+}
+
+fn main() {
+    println!("=== app gallery (all workloads, NDroid mode) ===\n");
+    println!("-- Table I case matrix --");
+    for (_, app, _) in all_case_apps() {
+        verdict(app);
+    }
+    println!("\n-- real-app replicas (Figs. 6-9) --");
+    verdict(qq_phonebook::qq_phonebook());
+    verdict(ephone::ephone());
+    verdict(poc_case2::poc_case2());
+    verdict(poc_case3::poc_case3());
+    println!("\n-- extensions --");
+    verdict(thumb_spy::thumb_spy());
+    verdict(crypto_hider::crypto_hider());
+    verdict(dyndex::dyndex_app());
+    verdict(pure_native::native_game_leaky());
+    verdict(driver::gated_leak_app()); // entry without enable: clean
+    println!("\n-- benign controls --");
+    verdict(benign::physics_game());
+    verdict(benign::audio_license_check());
+    verdict(benign::dsp_filter());
+    verdict(pure_native::native_game_benign());
+}

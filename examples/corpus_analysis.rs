@@ -1,0 +1,47 @@
+//! Market-study walkthrough: generate the calibrated 227,911-app
+//! corpus and run the §III classification pipeline over the raw
+//! records, printing the Fig. 2 category distribution as an ASCII
+//! chart.
+//!
+//! ```sh
+//! cargo run --release --example corpus_analysis
+//! ```
+
+use ndroid::corpus::{classify, generate, CorpusConfig};
+
+fn main() {
+    let config = CorpusConfig::default();
+    println!("generating {} app records (seed {:#x}) …", config.total, config.seed);
+    let records = generate(&config);
+
+    let stats = classify(&records);
+    println!("\napps using JNI (§III):");
+    println!("  type I   : {:>6}  — call System.load()/loadLibrary()", stats.type1);
+    println!("  type II  : {:>6}  — ship .so files without load calls", stats.type2);
+    println!(
+        "             {:>6}  — … of which can load them via a hidden dex",
+        stats.type2_loadable
+    );
+    println!("  type III : {:>6}  — pure native (NativeActivity)", stats.type3);
+
+    println!("\nFig. 2 — Type I category distribution:");
+    let max = stats.category_histogram.first().map(|(_, n)| *n).unwrap_or(1);
+    for (cat, n) in stats.category_histogram.iter().take(12) {
+        let bar = "#".repeat(1 + n * 50 / max);
+        println!(
+            "  {:<20} {:>6} ({:>4.1}%) {bar}",
+            cat.name(),
+            n,
+            100.0 * *n as f64 / stats.type1 as f64
+        );
+    }
+
+    println!("\nmost-bundled native libraries:");
+    for (lib, n) in stats.top_libraries.iter().take(10) {
+        println!("  {lib:<28} {n:>6}");
+    }
+    println!(
+        "\n{:.2}% of the corpus loads native code — the paper's headline 16.46%.",
+        100.0 * stats.native_fraction
+    );
+}

@@ -1,0 +1,105 @@
+//! Java↔native re-entrance at arbitrary depth: a Java method recursing
+//! through a native trampoline (bytecode → `dvmCallJNIMethod` → ARM →
+//! `CallStaticIntMethod` → `dvmInterpret` → bytecode → …) must unwind
+//! cleanly and compute the right value, with taint carried the whole
+//! way.
+
+use ndroid::apps::AppBuilder;
+use ndroid::arm::reg::RegList;
+use ndroid::arm::Reg;
+use ndroid::core::Mode;
+use ndroid::dvm::bytecode::{BinOp, CmpOp, DexInsn};
+use ndroid::dvm::{InvokeKind, MethodDef, MethodKind, Taint};
+use ndroid::jni::dvm_addr;
+use proptest::prelude::*;
+
+fn pingpong_app() -> (ndroid::apps::App, u32) {
+    let mut b = AppBuilder::new("pingpong", "Java<->native mutual recursion");
+    let c = b.class("Lapp/R;");
+    let cls_str = b.data_cstr("Lapp/R;");
+    let step_str = b.data_cstr("step");
+
+    // Native hop(I)I: calls back into Java step(I)I.
+    let hop_entry = b.asm.label();
+    b.asm.bind(hop_entry).unwrap();
+    b.asm.push(RegList::of(&[Reg::R4, Reg::LR]));
+    b.asm.mov(Reg::R4, Reg::R0); // the int argument
+    b.asm.ldr_const(Reg::R0, cls_str);
+    b.asm.call_abs(dvm_addr("FindClass"));
+    b.asm.push(RegList::of(&[Reg::R0, Reg::LR]));
+    b.asm.ldr_const(Reg::R1, step_str);
+    b.asm.call_abs(dvm_addr("GetStaticMethodID"));
+    b.asm.mov(Reg::R1, Reg::R0);
+    b.asm.pop(RegList::of(&[Reg::R0, Reg::LR]));
+    b.asm.mov(Reg::R2, Reg::R4);
+    b.asm.call_abs(dvm_addr("CallStaticIntMethod"));
+    b.asm.pop(RegList::of(&[Reg::R4, Reg::PC]));
+    let hop = b.native_method(c, "hop", "II", true, hop_entry);
+
+    // Java step(I)I: n == 0 ? 0 : hop(n-1) + 1
+    b.method(
+        c,
+        MethodDef::new(
+            "step",
+            "II",
+            MethodKind::Bytecode(vec![
+                DexInsn::IfTestZ {
+                    op: CmpOp::Ne,
+                    a: 1,
+                    target: 2,
+                },
+                DexInsn::Return { src: 1 }, // n == 0
+                DexInsn::BinOpLit {
+                    op: BinOp::Sub,
+                    dst: 0,
+                    a: 1,
+                    lit: 1,
+                },
+                DexInsn::Invoke {
+                    kind: InvokeKind::Static,
+                    method: hop,
+                    args: vec![0],
+                },
+                DexInsn::MoveResult { dst: 0 },
+                DexInsn::BinOpLit {
+                    op: BinOp::Add,
+                    dst: 0,
+                    a: 0,
+                    lit: 1,
+                },
+                DexInsn::Return { src: 0 },
+            ]),
+        )
+        .with_registers(2),
+    );
+    let app = b.finish("Lapp/R;", "step").unwrap();
+    (app, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn pingpong_recursion_unwinds(depth in 1u32..14) {
+        let (app, _) = pingpong_app();
+        let mut sys = app.launch(Mode::NDroid);
+        let (v, taint) = sys
+            .run_java("Lapp/R;", "step", &[(depth, Taint::IMEI)])
+            .unwrap();
+        prop_assert_eq!(v, depth);
+        // TaintDroid's JNI policy + the DVM rules keep the argument
+        // taint on the result through every crossing.
+        prop_assert!(taint.contains(Taint::IMEI));
+        prop_assert_eq!(sys.dvm.stack.depth(), 0, "all Java frames unwound");
+    }
+}
+
+#[test]
+fn deep_nesting_under_all_modes() {
+    for mode in [Mode::Vanilla, Mode::TaintDroid, Mode::NDroid] {
+        let (app, _) = pingpong_app();
+        let mut sys = app.launch(mode);
+        let (v, _) = sys.run_java("Lapp/R;", "step", &[(10, Taint::CLEAR)]).unwrap();
+        assert_eq!(v, 10, "{mode}");
+    }
+}
