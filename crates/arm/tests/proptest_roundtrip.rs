@@ -8,7 +8,7 @@ use ndroid_arm::encode::encode;
 use ndroid_arm::insn::{AddrMode4, DpOp, Instr, MemOffset, MemSize, Op2, ShiftKind};
 use ndroid_arm::reg::{Reg, RegList};
 use ndroid_arm::{Cpu, Memory};
-use proptest::prelude::*;
+use ndroid_testkit::prelude::*;
 
 fn arb_cond() -> impl Strategy<Value = Cond> {
     (0u32..15).prop_map(Cond::from_bits)

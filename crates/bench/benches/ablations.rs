@@ -1,4 +1,7 @@
-//! Ablation benches for the design decisions in DESIGN.md §5:
+//! Ablation benches for the design decisions in DESIGN.md §5, timed by
+//! the hermetic `ndroid_testkit::bench` suite (writes
+//! `BENCH_ablations.json`; `TESTKIT_BENCH_SMOKE=1` for a CI smoke
+//! pass):
 //!
 //! * **D1 — multilevel hooking**: branch-event processing with gating
 //!   vs. unconditional deep hooking.
@@ -7,7 +10,6 @@
 //! * **D5 — hot-handler cache**: the instruction tracer with and
 //!   without the cache.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ndroid_arm::reg::RegList;
 use ndroid_arm::{Assembler, Cond, Reg};
 use ndroid_core::{Mode, NDroidAnalysis};
@@ -18,6 +20,7 @@ use ndroid_emu::runtime::Analysis;
 use ndroid_emu::shadow::ShadowState;
 use ndroid_jni::dvm_addr;
 use ndroid_libc::libc_addr;
+use ndroid_testkit::bench::{black_box, Suite};
 
 const SRC: u32 = 0x2000_0000;
 const DST: u32 = 0x2000_4000;
@@ -63,96 +66,70 @@ fn build_sys(asm: Assembler) -> ndroid_core::NDroidSystem {
     sys
 }
 
-fn tune(group: &mut criterion::BenchmarkGroup<criterion::measurement::WallTime>) {
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(200));
-    group.measurement_time(std::time::Duration::from_millis(700));
+fn ablate_libc_model(suite: &mut Suite) {
+    let mut sys = modeled_memcpy_app();
+    suite.bench("ablate_libc_model/modeled_memcpy_hostcall", || {
+        sys.run_native(NATIVE_CODE_BASE, &[]).unwrap();
+    });
+    let mut sys = traced_memcpy_app();
+    suite.bench("ablate_libc_model/traced_memcpy_arm_loop", || {
+        sys.run_native(NATIVE_CODE_BASE, &[]).unwrap();
+    });
 }
 
-fn ablate_libc_model(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablate_libc_model");
-    tune(&mut group);
-    group.bench_function("modeled_memcpy_hostcall", |b| {
-        let mut sys = modeled_memcpy_app();
-        b.iter(|| {
-            sys.run_native(NATIVE_CODE_BASE, &[]).unwrap();
-        });
-    });
-    group.bench_function("traced_memcpy_arm_loop", |b| {
-        let mut sys = traced_memcpy_app();
-        b.iter(|| {
-            sys.run_native(NATIVE_CODE_BASE, &[]).unwrap();
-        });
-    });
-    group.finish();
-}
-
-fn ablate_multilevel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablate_multilevel");
-    tune(&mut group);
+fn ablate_multilevel(suite: &mut Suite) {
     let bridge = dvm_addr("dvmCallMethodA");
     let interp = dvm_addr("dvmInterpret");
     // Framework churn: entries to the shared internals from outside
     // third-party code, which gating ignores.
-    group.bench_function("gated", |b| {
-        let mut a = NDroidAnalysis::new();
-        let mut sh = ShadowState::new();
-        b.iter(|| {
-            for i in 0..1000u32 {
-                a.on_branch(&mut sh, 0x6100_0000 + (i % 64), bridge);
-                a.on_branch(&mut sh, bridge + 0x20, interp);
-            }
-            a.stats.branch_events
-        });
+    let mut a = NDroidAnalysis::new();
+    let mut sh = ShadowState::new();
+    suite.bench("ablate_multilevel/gated", || {
+        for i in 0..1000u32 {
+            a.on_branch(&mut sh, 0x6100_0000 + (i % 64), bridge);
+            a.on_branch(&mut sh, bridge + 0x20, interp);
+        }
+        black_box(a.stats.branch_events);
     });
-    group.bench_function("ungated_counterfactual", |b| {
-        // Simulate unconditional hooking cost: every inner entry pays a
-        // policy lookup + trace-formatting charge (what the paper's
-        // naive alternative would do inside dvmInterpret).
-        let mut a = NDroidAnalysis::new();
-        a.gate_hooks = false;
-        let mut sh = ShadowState::new();
-        b.iter(|| {
-            let mut work = 0u64;
-            for i in 0..1000u32 {
-                a.on_branch(&mut sh, 0x6100_0000 + (i % 64), bridge);
-                a.on_branch(&mut sh, bridge + 0x20, interp);
-                // The instrumentation body that gating avoids: frame
-                // inspection + taint slot formatting.
-                for r in 0..8u32 {
-                    work = work.wrapping_add(std::hint::black_box(r as u64 * 31));
-                }
-                work = work.wrapping_add(std::hint::black_box(
-                    format!("dvmInterpret frame {i}").len() as u64,
-                ));
+    // Simulate unconditional hooking cost: every inner entry pays a
+    // policy lookup + trace-formatting charge (what the paper's naive
+    // alternative would do inside dvmInterpret).
+    let mut a = NDroidAnalysis::new();
+    a.gate_hooks = false;
+    let mut sh = ShadowState::new();
+    suite.bench("ablate_multilevel/ungated_counterfactual", || {
+        let mut work = 0u64;
+        for i in 0..1000u32 {
+            a.on_branch(&mut sh, 0x6100_0000 + (i % 64), bridge);
+            a.on_branch(&mut sh, bridge + 0x20, interp);
+            // The instrumentation body that gating avoids: frame
+            // inspection + taint slot formatting.
+            for r in 0..8u32 {
+                work = work.wrapping_add(black_box(r as u64 * 31));
             }
-            work
-        });
+            work = work
+                .wrapping_add(black_box(format!("dvmInterpret frame {i}").len() as u64));
+        }
+        black_box(work);
     });
-    group.finish();
 }
 
-fn ablate_decode_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablate_decode_cache");
-    tune(&mut group);
+fn ablate_decode_cache(suite: &mut Suite) {
     for (name, use_cache) in [("with_cache", true), ("without_cache", false)] {
-        group.bench_function(name, |b| {
-            let mut sys = traced_memcpy_app();
-            if let Some(a) = sys.ndroid_analysis_mut() {
-                a.use_cache = use_cache;
-            }
-            b.iter(|| {
-                sys.run_native(NATIVE_CODE_BASE, &[]).unwrap();
-            });
+        let mut sys = traced_memcpy_app();
+        if let Some(a) = sys.ndroid_analysis_mut() {
+            a.use_cache = use_cache;
+        }
+        suite.bench(&format!("ablate_decode_cache/{name}"), || {
+            sys.run_native(NATIVE_CODE_BASE, &[]).unwrap();
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    ablate_libc_model,
-    ablate_multilevel,
-    ablate_decode_cache
-);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("ablations");
+    ablate_libc_model(&mut suite);
+    ablate_multilevel(&mut suite);
+    ablate_decode_cache(&mut suite);
+    suite.finish();
+}

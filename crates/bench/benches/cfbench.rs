@@ -1,30 +1,23 @@
-//! Criterion benches: per-kernel wall time under each analysis mode
-//! (the statistically rigorous companion to `exp_cfbench`).
+//! Per-kernel wall time under each analysis mode (the statistically
+//! rigorous companion to `exp_cfbench`), timed by the hermetic
+//! `ndroid_testkit::bench` suite. Writes `BENCH_cfbench.json`;
+//! `TESTKIT_BENCH_SMOKE=1` runs a minimal pass for CI.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ndroid_cfbench::all_kernels;
 use ndroid_core::Mode;
+use ndroid_testkit::bench::Suite;
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cfbench");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(200));
-    group.measurement_time(std::time::Duration::from_millis(700));
-    const ITERS: u32 = 2_000;
+const ITERS: u32 = 2_000;
+
+fn main() {
+    let mut suite = Suite::new("cfbench");
     for kernel in all_kernels() {
         for mode in [Mode::Vanilla, Mode::TaintDroid, Mode::NDroid, Mode::DroidScopeLike] {
-            group.bench_with_input(
-                BenchmarkId::new(kernel.name, mode),
-                &mode,
-                |b, &mode| {
-                    let mut sys = kernel.boot(mode);
-                    b.iter(|| kernel.run(&mut sys, ITERS));
-                },
-            );
+            let mut sys = kernel.boot(mode);
+            suite.bench(&format!("{}/{}", kernel.name, mode), || {
+                kernel.run(&mut sys, ITERS);
+            });
         }
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

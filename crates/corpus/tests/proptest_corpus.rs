@@ -3,7 +3,7 @@
 //! configuration, not just the paper's.
 
 use ndroid_corpus::{classify, generate, CorpusConfig};
-use proptest::prelude::*;
+use ndroid_testkit::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = CorpusConfig> {
     (

@@ -3,7 +3,7 @@
 
 use ndroid_dvm::stack::DvmStack;
 use ndroid_dvm::{Heap, IndirectRefKind, IndirectRefTable, MethodId, ObjectId, Taint};
-use proptest::prelude::*;
+use ndroid_testkit::prelude::*;
 
 proptest! {
     /// Interleaved value/taint slots never interfere: for any set of
@@ -11,7 +11,7 @@ proptest! {
     #[test]
     fn stack_slots_are_independent(
         regs in 1u16..32,
-        writes in proptest::collection::vec((0u16..32, any::<u32>(), any::<u32>()), 0..64)
+        writes in collection::vec((0u16..32, any::<u32>(), any::<u32>()), 0..64)
     ) {
         let mut s = DvmStack::new();
         s.push_frame(MethodId(0), regs, &[]).unwrap();
@@ -31,7 +31,7 @@ proptest! {
     /// Pushing and popping arbitrary frame stacks always restores the
     /// caller's registers bit-for-bit.
     #[test]
-    fn frames_nest_arbitrarily(sizes in proptest::collection::vec(1u16..16, 1..12)) {
+    fn frames_nest_arbitrarily(sizes in collection::vec(1u16..16, 1..12)) {
         let mut s = DvmStack::new();
         let mut saved: Vec<(u16, u32)> = Vec::new();
         for (i, regs) in sizes.iter().enumerate() {
@@ -53,7 +53,7 @@ proptest! {
     /// always assigns fresh, unique addresses.
     #[test]
     fn compaction_preserves_objects(
-        strings in proptest::collection::vec((any::<String>(), any::<u32>()), 1..24),
+        strings in collection::vec((any::<String>(), any::<u32>()), 1..24),
         cycles in 1u32..5
     ) {
         let mut h = Heap::new();
@@ -79,7 +79,7 @@ proptest! {
     /// object until deleted, and never resolves after deletion even if
     /// the slot is reused.
     #[test]
-    fn indirect_refs_are_stable_and_safe(ops in proptest::collection::vec(any::<bool>(), 1..64)) {
+    fn indirect_refs_are_stable_and_safe(ops in collection::vec(any::<bool>(), 1..64)) {
         let mut t = IndirectRefTable::new();
         let mut live: Vec<(ndroid_dvm::IndirectRef, ObjectId)> = Vec::new();
         let mut dead: Vec<ndroid_dvm::IndirectRef> = Vec::new();

@@ -4,13 +4,13 @@
 use ndroid_dvm::Taint;
 use ndroid_emu::shadow::TaintMap;
 use ndroid_emu::Kernel;
-use proptest::prelude::*;
+use ndroid_testkit::prelude::*;
 
 proptest! {
     /// The kernel filesystem behaves like a map of byte vectors under
     /// arbitrary open/write/read/close sequences.
     #[test]
-    fn kernel_file_model(chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..10)) {
+    fn kernel_file_model(chunks in collection::vec(collection::vec(any::<u8>(), 0..64), 1..10)) {
         let mut k = Kernel::new();
         let fd = k.open("/data/file", true).unwrap();
         let mut expected = Vec::new();
@@ -36,7 +36,7 @@ proptest! {
     /// The byte taint map equals a reference HashMap model under
     /// arbitrary set/add/clear/copy operations.
     #[test]
-    fn taint_map_matches_model(ops in proptest::collection::vec((0u8..4, 0u32..128, 1u32..16, any::<u32>()), 0..64)) {
+    fn taint_map_matches_model(ops in collection::vec((0u8..4, 0u32..128, 1u32..16, any::<u32>()), 0..64)) {
         use std::collections::HashMap;
         let mut real = TaintMap::new();
         let mut model: HashMap<u32, u32> = HashMap::new();

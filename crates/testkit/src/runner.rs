@@ -1,0 +1,259 @@
+//! The property-test runner: drives a strategy for N cases, catches
+//! assertion panics, shrinks failing inputs greedily, and prints a
+//! seed that reproduces the failure via the `TESTKIT_SEED` env var.
+
+use crate::rng::{splitmix64, Pcg32};
+use crate::strategy::Strategy;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Runner configuration (proptest's `ProptestConfig` analog).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Cap on shrink iterations once a failure is found.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 256,
+            max_shrink_iters: 4_096,
+        }
+    }
+}
+
+impl Config {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+thread_local! {
+    /// Set while the runner probes a case: panics are expected there
+    /// (they mean "property failed") and must not spam stderr.
+    static PROBING: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !PROBING.with(|p| p.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs one case, reporting a panic as `Err(message)`.
+fn probe<V, F: FnMut(V)>(test: &mut F, value: V) -> Result<(), String> {
+    PROBING.with(|p| p.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| test(value)));
+    PROBING.with(|p| p.set(false));
+    result.map_err(panic_message)
+}
+
+/// Environment-variable names the runner honors.
+pub const SEED_ENV: &str = "TESTKIT_SEED";
+/// Override for `Config::cases` (applies to every property).
+pub const CASES_ENV: &str = "TESTKIT_CASES";
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("could not parse {name}={raw:?} as a u64"),
+    }
+}
+
+/// FNV-1a hash, used to give every property its own seed stream so
+/// adding a test never perturbs its neighbors' cases.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `test` against `cfg.cases` values drawn from `strategy`.
+///
+/// On failure the input is shrunk greedily (simplify / complicate on
+/// the value tree) and the final report carries the per-case seed;
+/// re-running with `TESTKIT_SEED=<seed>` regenerates exactly the same
+/// initial input for any property, so `TESTKIT_SEED=0x… cargo test
+/// <name>` reproduces the failure.
+pub fn run_property<S, F>(cfg: &Config, name: &str, strategy: &S, mut test: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value),
+{
+    install_quiet_hook();
+
+    if let Some(seed) = env_u64(SEED_ENV) {
+        // Reproduction mode: run exactly one case, loudly.
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let tree = strategy.new_tree(&mut rng);
+        eprintln!(
+            "[testkit] {name}: replaying {SEED_ENV}={seed:#x} with input {:?}",
+            tree.current()
+        );
+        test(tree.current());
+        return;
+    }
+
+    let cases = env_u64(CASES_ENV).map(|n| n as u32).unwrap_or(cfg.cases);
+    let mut stream = fnv1a(name);
+    for case in 0..cases {
+        let case_seed = splitmix64(&mut stream);
+        let mut rng = Pcg32::seed_from_u64(case_seed);
+        let mut tree = strategy.new_tree(&mut rng);
+        let first = match probe(&mut test, tree.current()) {
+            Ok(()) => continue,
+            Err(msg) => msg,
+        };
+
+        // Greedy shrink: simplify while the property keeps failing;
+        // when a candidate passes, complicate back toward the failure.
+        let mut last_msg = first;
+        let mut failing = tree.current();
+        for _ in 0..cfg.max_shrink_iters {
+            if !tree.simplify() {
+                break;
+            }
+            match probe(&mut test, tree.current()) {
+                Err(msg) => {
+                    last_msg = msg;
+                    failing = tree.current();
+                }
+                Ok(()) => {
+                    if !tree.complicate() {
+                        break;
+                    }
+                }
+            }
+        }
+
+        panic!(
+            "[testkit] property '{name}' failed (case {case_no} of {cases}).\n\
+             minimal input: {failing:?}\n\
+             assertion: {last_msg}\n\
+             reproduce with: {SEED_ENV}={case_seed:#x} cargo test {short}",
+            case_no = case + 1,
+            short = name.rsplit("::").next().unwrap_or(name),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        run_property(
+            &Config::with_cases(50),
+            "tests::count",
+            &(0u32..10),
+            |v| {
+                count += 1;
+                assert!(v < 10);
+            },
+        );
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    fn failing_property_shrinks_and_reports_seed() {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_property(
+                &Config::with_cases(256),
+                "tests::shrinker",
+                &(0u32..10_000),
+                |v| assert!(v < 777, "too big"),
+            );
+        }));
+        let msg = panic_message(result.unwrap_err());
+        assert!(msg.contains("TESTKIT_SEED=0x"), "seed in report: {msg}");
+        assert!(
+            msg.contains("minimal input: 777"),
+            "shrunk to boundary: {msg}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for out in [&mut a, &mut b] {
+            run_property(
+                &Config::with_cases(20),
+                "tests::det",
+                &any::<u64>(),
+                |v| out.push(v),
+            );
+        }
+        assert_eq!(a, b, "same property name → same case stream");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_streams() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        run_property(&Config::with_cases(8), "tests::s1", &any::<u64>(), |v| {
+            a.push(v)
+        });
+        run_property(&Config::with_cases(8), "tests::s2", &any::<u64>(), |v| {
+            b.push(v)
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn vector_failure_shrinks_small() {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_property(
+                &Config::with_cases(64),
+                "tests::vecshrink",
+                &crate::collection::vec(0u32..100, 0..20),
+                |v: Vec<u32>| assert!(v.len() < 5),
+            );
+        }));
+        let msg = panic_message(result.unwrap_err());
+        // Greedy shrinking: length cut to the boundary (5), every
+        // element simplified to 0.
+        assert!(
+            msg.contains("minimal input: [0, 0, 0, 0, 0]"),
+            "fully shrunk: {msg}"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Hermetic CI pass: build, test, and bench-smoke the whole workspace
+# with zero network/registry access. Fails if any dependency would be
+# resolved from a registry rather than a workspace path.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== dependency graph is workspace-only =="
+# With no lockfile entries for registry crates, --offline resolution
+# succeeds only if every dependency is a path dependency. Double-check
+# explicitly so a reintroduced crates.io dep fails loudly here.
+if cargo metadata --format-version 1 --offline --no-deps \
+    | grep -o '"source":"[^"]*"' | grep -qv '"source":null'; then
+  echo "error: non-path dependency in the workspace graph" >&2
+  exit 1
+fi
+if grep -o '"source":[^,]*' Cargo.lock 2>/dev/null | grep -q 'registry'; then
+  echo "error: Cargo.lock references a registry" >&2
+  exit 1
+fi
+
+echo "== cargo build --release --offline =="
+cargo build --workspace --release --offline
+
+echo "== cargo test --offline =="
+cargo test -q --workspace --offline
+
+echo "== bench smoke pass (TESTKIT_BENCH_SMOKE=1) =="
+BENCH_DIR="$(mktemp -d)"
+TESTKIT_BENCH_SMOKE=1 TESTKIT_BENCH_DIR="$BENCH_DIR" \
+  cargo bench -q --offline -p ndroid-bench
+for f in BENCH_cfbench.json BENCH_ablations.json; do
+  if [ ! -s "$BENCH_DIR/$f" ]; then
+    echo "error: bench smoke did not produce $f" >&2
+    exit 1
+  fi
+done
+rm -rf "$BENCH_DIR"
+
+echo "== CI pass complete =="

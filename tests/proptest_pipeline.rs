@@ -9,7 +9,7 @@ use ndroid::dvm::bytecode::{BinOp, DexInsn};
 use ndroid::dvm::{InvokeKind, MethodDef, MethodKind, Taint};
 use ndroid::jni::dvm_addr;
 use ndroid::libc::libc_addr;
-use proptest::prelude::*;
+use ndroid_testkit::prelude::*;
 
 /// Builds an app whose native code memcpy-shuffles the secret through
 /// `hops` intermediate buffers before sending it.
@@ -98,7 +98,7 @@ proptest! {
     /// Arbitrary Java arithmetic on a tainted value keeps the taint
     /// (explicit-flow soundness of the DVM rules).
     #[test]
-    fn java_arithmetic_preserves_taint(ops in proptest::collection::vec(0u8..5, 1..20)) {
+    fn java_arithmetic_preserves_taint(ops in collection::vec(0u8..5, 1..20)) {
         use ndroid::dvm::framework::install_framework;
         use ndroid::dvm::{Dvm, Program, ClassDef};
         let mut p = Program::new();

@@ -9,7 +9,7 @@
 
 use ndroid::apps::synth::{build, FlowSpec, Hop, Sink, Source};
 use ndroid::core::Mode;
-use proptest::prelude::*;
+use ndroid_testkit::prelude::*;
 
 fn arb_source() -> impl Strategy<Value = Source> {
     prop_oneof![
@@ -41,7 +41,7 @@ fn arb_sink() -> impl Strategy<Value = Sink> {
 fn arb_spec() -> impl Strategy<Value = FlowSpec> {
     (
         arb_source(),
-        proptest::collection::vec(arb_hop(), 0..5),
+        collection::vec(arb_hop(), 0..5),
         arb_sink(),
         any::<bool>(),
     )

@@ -11,7 +11,7 @@ use ndroid::core::Mode;
 use ndroid::dvm::bytecode::{BinOp, CmpOp, DexInsn};
 use ndroid::dvm::{InvokeKind, MethodDef, MethodKind, Taint};
 use ndroid::jni::dvm_addr;
-use proptest::prelude::*;
+use ndroid_testkit::prelude::*;
 
 fn pingpong_app() -> (ndroid::apps::App, u32) {
     let mut b = AppBuilder::new("pingpong", "Java<->native mutual recursion");
