@@ -10,6 +10,7 @@
 use crate::cpu::Cpu;
 use crate::decode::decode_arm;
 use crate::error::ArmError;
+use crate::icache::DecodeCache;
 use crate::insn::{AddrMode4, DpOp, Instr, MemOffset, MemSize, Op2, ShiftKind, VfpOp, VfpPrec};
 use crate::mem::Memory;
 use crate::reg::Reg;
@@ -53,11 +54,60 @@ pub struct Effect {
 /// execution errors such as [`ArmError::Unsupported`].
 pub fn step(cpu: &mut Cpu, mem: &mut Memory) -> Result<Effect, ArmError> {
     let pc = cpu.pc();
-    let (instr, size) = if cpu.thumb {
-        decode_thumb(mem, pc)?
-    } else {
-        (decode_arm(mem.read_u32(pc), pc)?, 4)
+    let (instr, size) = fetch_decode(cpu, mem, pc)?;
+    step_decoded(cpu, mem, instr, size)
+}
+
+/// Like [`step`], but consults (and fills) a [`DecodeCache`] instead of
+/// re-decoding every fetch. The cache validates itself against the
+/// memory page's write generation, so self-modifying code is re-decoded
+/// transparently; a disabled cache degrades to plain [`step`].
+///
+/// # Errors
+///
+/// Same as [`step`].
+pub fn step_cached(
+    cpu: &mut Cpu,
+    mem: &mut Memory,
+    icache: &mut DecodeCache,
+) -> Result<Effect, ArmError> {
+    if !icache.enabled {
+        return step(cpu, mem);
+    }
+    let pc = cpu.pc();
+    let (instr, size) = match icache.lookup(mem, pc, cpu.thumb) {
+        Some(hit) => hit,
+        None => {
+            let (instr, size) = fetch_decode(cpu, mem, pc)?;
+            icache.insert(mem, pc, cpu.thumb, instr, size);
+            (instr, size)
+        }
     };
+    step_decoded(cpu, mem, instr, size)
+}
+
+#[inline]
+fn fetch_decode(cpu: &Cpu, mem: &Memory, pc: u32) -> Result<(Instr, u8), ArmError> {
+    if cpu.thumb {
+        decode_thumb(mem, pc)
+    } else {
+        Ok((decode_arm(mem.read_u32(pc), pc)?, 4))
+    }
+}
+
+/// Executes an already-decoded instruction at the current PC (the
+/// shared back half of [`step`] and [`step_cached`]).
+///
+/// # Errors
+///
+/// Execution errors such as [`ArmError::Unsupported`].
+pub fn step_decoded(
+    cpu: &mut Cpu,
+    mem: &mut Memory,
+    instr: Instr,
+    size: u8,
+) -> Result<Effect, ArmError> {
+    let pc = cpu.pc();
     cpu.insn_count += 1;
 
     let mut effect = Effect {

@@ -1,0 +1,271 @@
+//! The decoded-instruction cache.
+//!
+//! "It takes time to decide each instruction because there are 148 ARM
+//! instructions and 73 Thumb instructions and each instruction does not
+//! have fixed bits to denote the opcode. To speed up the identification
+//! of the instruction type and the search of the handler, NDroid caches
+//! hot instructions and the corresponding handlers" (§V-C). This module
+//! is that cache at the fetch/decode layer: a two-level, page-organized
+//! store of already-decoded [`Instr`]s keyed by `(pc, thumb-bit)`,
+//! consulted by [`crate::exec::step_cached`].
+//!
+//! Invalidation is page-wise and lazy: each cache page records the
+//! [`Memory::page_version`] write generation it was filled under, and a
+//! lookup whose generation no longer matches drops the whole page
+//! before answering. Guest writes therefore never have to notify the
+//! cache — self-modifying code is re-decoded on its next fetch, which
+//! is exactly QEMU's translation-block invalidation protocol collapsed
+//! onto an interpreter.
+//!
+//! Instructions that straddle a page boundary (a 32-bit Thumb pair at
+//! offset `0xFFE`) are never cached: a write to the *second* page could
+//! not be detected by the first page's generation.
+//!
+//! The store itself mirrors [`Memory`]'s layout — a `Vec` of pages, a
+//! `HashMap` page index consulted only on TLB miss, and a one-entry
+//! TLB — because the hit path runs once per *guest instruction*: a
+//! hashed lookup per step costs more than this interpreter's decode.
+//! For the same reason each cache page pins the `Memory` slot backing
+//! its guest page (slots are append-only, hence stable), turning the
+//! per-hit generation check into a single indexed load.
+
+use crate::insn::Instr;
+use crate::mem::{Memory, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// One decode slot per possible instruction start (2-byte granularity:
+/// Thumb instructions are half-word aligned, ARM slots use every other
+/// entry).
+const SLOTS: usize = PAGE_SIZE / 2;
+
+#[derive(Debug, Clone, Copy)]
+struct CachedInsn {
+    instr: Instr,
+    size: u8,
+    thumb: bool,
+}
+
+struct CachePage {
+    /// The [`Memory::page_version`] this page's entries were decoded
+    /// under; a mismatch on lookup invalidates every slot.
+    mem_version: u64,
+    /// The `Memory` page slot backing this guest page, pinned on first
+    /// resolution (`None` while the guest page is still unmapped).
+    mem_slot: Option<u32>,
+    slots: Box<[Option<CachedInsn>; SLOTS]>,
+}
+
+fn empty_slots() -> Box<[Option<CachedInsn>; SLOTS]> {
+    vec![None; SLOTS]
+        .into_boxed_slice()
+        .try_into()
+        .unwrap_or_else(|_| unreachable!("length is SLOTS by construction"))
+}
+
+impl CachePage {
+    fn new(mem_version: u64, mem_slot: Option<u32>) -> CachePage {
+        CachePage {
+            mem_version,
+            mem_slot,
+            slots: empty_slots(),
+        }
+    }
+
+    /// The current write generation of the guest page behind this cache
+    /// page, pinning the backing `Memory` slot on first success.
+    #[inline]
+    fn live_version(&mut self, mem: &Memory, pageno: u32) -> u64 {
+        match self.mem_slot {
+            Some(slot) => mem.version_by_slot(slot),
+            None => {
+                self.mem_slot = mem.slot_of_page(pageno);
+                self.mem_slot.map_or(0, |slot| mem.version_by_slot(slot))
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for CachePage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachePage")
+            .field("mem_version", &self.mem_version)
+            .finish()
+    }
+}
+
+/// Page-organized cache of decoded instructions with generation-based
+/// self-modifying-code invalidation. See the module docs for the
+/// protocol.
+#[derive(Debug, Default)]
+pub struct DecodeCache {
+    pages: Vec<CachePage>,
+    index: HashMap<u32, u32>,
+    tlb: Option<(u32, u32)>, // (guest page number, pages[] slot)
+    /// When `false`, [`crate::exec::step_cached`] bypasses the cache
+    /// entirely (the A/B knob the `BENCH_taint` suite measures).
+    pub enabled: bool,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh decode.
+    pub misses: u64,
+    /// Page-wise invalidations triggered by a stale write generation.
+    pub invalidations: u64,
+}
+
+impl DecodeCache {
+    /// An empty, enabled cache.
+    pub fn new() -> DecodeCache {
+        DecodeCache {
+            pages: Vec::new(),
+            index: HashMap::new(),
+            tlb: None,
+            enabled: true,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Number of cache pages currently held (live or stale).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Drops every cached decode (stats are kept).
+    pub fn clear(&mut self) {
+        self.pages.clear();
+        self.index.clear();
+        self.tlb = None;
+    }
+
+    /// The cache-page slot covering `pageno`, via TLB then index.
+    #[inline]
+    fn slot_of(&mut self, pageno: u32) -> Option<u32> {
+        if let Some((p, slot)) = self.tlb {
+            if p == pageno {
+                return Some(slot);
+            }
+        }
+        let slot = *self.index.get(&pageno)?;
+        self.tlb = Some((pageno, slot));
+        Some(slot)
+    }
+
+    /// The cached decode of the instruction at `pc` in the given
+    /// execution state, if still valid against `mem`'s current write
+    /// generation. Stale pages are invalidated (and counted) here.
+    #[inline]
+    pub fn lookup(&mut self, mem: &Memory, pc: u32, thumb: bool) -> Option<(Instr, u8)> {
+        let pageno = pc >> PAGE_SHIFT;
+        let Some(slot) = self.slot_of(pageno) else {
+            self.misses += 1;
+            return None;
+        };
+        let page = &mut self.pages[slot as usize];
+        let version = page.live_version(mem, pageno);
+        if page.mem_version != version {
+            page.slots.fill(None);
+            page.mem_version = version;
+            self.invalidations += 1;
+            self.misses += 1;
+            return None;
+        }
+        match page.slots[((pc & PAGE_MASK) >> 1) as usize] {
+            Some(e) if e.thumb == thumb => {
+                self.hits += 1;
+                Some((e.instr, e.size))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a fresh decode of `(pc, thumb)` under `mem`'s current
+    /// write generation. Page-straddling instructions are skipped (see
+    /// the module docs).
+    #[inline]
+    pub fn insert(&mut self, mem: &Memory, pc: u32, thumb: bool, instr: Instr, size: u8) {
+        let off = (pc & PAGE_MASK) as usize;
+        if off + size as usize > PAGE_SIZE {
+            return;
+        }
+        let pageno = pc >> PAGE_SHIFT;
+        let slot = match self.slot_of(pageno) {
+            Some(slot) => slot,
+            None => {
+                let slot = self.pages.len() as u32;
+                let mem_slot = mem.slot_of_page(pageno);
+                let version = mem_slot.map_or(0, |s| mem.version_by_slot(s));
+                self.pages.push(CachePage::new(version, mem_slot));
+                self.index.insert(pageno, slot);
+                self.tlb = Some((pageno, slot));
+                slot
+            }
+        };
+        let page = &mut self.pages[slot as usize];
+        let version = page.live_version(mem, pageno);
+        if page.mem_version != version {
+            page.slots.fill(None);
+            page.mem_version = version;
+        }
+        page.slots[off >> 1] = Some(CachedInsn { instr, size, thumb });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+    use crate::insn::Instr;
+
+    fn bx_lr() -> Instr {
+        Instr::BranchExchange {
+            cond: Cond::Al,
+            link: false,
+            rm: crate::reg::Reg::LR,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x8000, 0xE12F_FF1E);
+        let mut c = DecodeCache::new();
+        assert!(c.lookup(&mem, 0x8000, false).is_none());
+        c.insert(&mem, 0x8000, false, bx_lr(), 4);
+        let (i, sz) = c.lookup(&mem, 0x8000, false).expect("hit");
+        assert_eq!((i, sz), (bx_lr(), 4));
+        assert_eq!((c.hits, c.misses), (1, 1));
+    }
+
+    #[test]
+    fn write_to_page_invalidates_lookup() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x8000, 0xE12F_FF1E);
+        let mut c = DecodeCache::new();
+        c.insert(&mem, 0x8000, false, bx_lr(), 4);
+        mem.write_u8(0x8FFF, 0x42); // anywhere on the page
+        assert!(c.lookup(&mem, 0x8000, false).is_none(), "stale entry dropped");
+        assert_eq!(c.invalidations, 1);
+    }
+
+    #[test]
+    fn thumb_and_arm_do_not_alias() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x8000, 0xE12F_FF1E);
+        let mut c = DecodeCache::new();
+        c.insert(&mem, 0x8000, false, bx_lr(), 4);
+        assert!(c.lookup(&mem, 0x8000, true).is_none(), "mode is part of the key");
+    }
+
+    #[test]
+    fn page_straddling_instruction_is_not_cached() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x8FFC, 0);
+        let mut c = DecodeCache::new();
+        c.insert(&mem, 0x8FFE, true, bx_lr(), 4); // 32-bit Thumb at page edge
+        assert!(c.lookup(&mem, 0x8FFE, true).is_none());
+    }
+}

@@ -52,6 +52,7 @@ pub mod disasm;
 pub mod encode;
 pub mod error;
 pub mod exec;
+pub mod icache;
 pub mod insn;
 pub mod mem;
 pub mod reg;
@@ -61,7 +62,8 @@ pub use asm::{Assembler, CodeBlock, Label};
 pub use cond::Cond;
 pub use cpu::Cpu;
 pub use error::ArmError;
-pub use exec::{step, Branch, Effect};
+pub use exec::{step, step_cached, step_decoded, Branch, Effect};
+pub use icache::DecodeCache;
 pub use insn::{AddrMode4, DpOp, Instr, MemOffset, MemSize, Op2, ShiftKind};
 pub use mem::Memory;
 pub use reg::Reg;

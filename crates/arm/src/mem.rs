@@ -3,9 +3,14 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 
-const PAGE_SHIFT: u32 = 12;
-const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
-const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
+/// log2 of the guest page size. Shared by the decoded-instruction
+/// cache and the emulator's shadow taint memory so all three layers
+/// slice the address space identically.
+pub const PAGE_SHIFT: u32 = 12;
+/// Guest page size in bytes (4 KiB).
+pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+/// Mask selecting the offset-within-page bits of an address.
+pub const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
 
 /// A sparse 32-bit guest address space backed by 4 KiB pages, with a
 /// one-entry TLB caching the last page touched (guest access patterns
@@ -21,6 +26,13 @@ pub struct Memory {
     pages: Vec<Box<[u8; PAGE_SIZE]>>,
     index: HashMap<u32, u32>,
     tlb: Cell<Option<(u32, u32)>>, // (page number, pages[] slot)
+    /// Per-page write generation, parallel to `pages`. Bumped on every
+    /// write that touches the page; consumers holding derived state
+    /// (the decoded-instruction cache) compare against it to detect
+    /// self-modifying code. An unmapped page reports generation 0 and
+    /// a freshly materialized page starts at 1, so any transition is
+    /// observable.
+    versions: Vec<u64>,
 }
 
 impl Clone for Memory {
@@ -29,6 +41,7 @@ impl Clone for Memory {
             pages: self.pages.clone(),
             index: self.index.clone(),
             tlb: Cell::new(None),
+            versions: self.versions.clone(),
         }
     }
 }
@@ -61,16 +74,49 @@ impl Memory {
         Some(slot)
     }
 
+    /// Slot lookup for a *write*: materializes the page if needed and
+    /// bumps its write generation (every caller is about to mutate it).
     #[inline]
     fn slot_or_alloc(&mut self, pageno: u32) -> u32 {
         if let Some(slot) = self.slot_of(pageno) {
+            self.versions[slot as usize] += 1;
             return slot;
         }
         let slot = self.pages.len() as u32;
         self.pages.push(Box::new([0u8; PAGE_SIZE]));
+        self.versions.push(1);
         self.index.insert(pageno, slot);
         self.tlb.set(Some((pageno, slot)));
         slot
+    }
+
+    /// The write generation of the page containing `addr`: 0 for an
+    /// unmapped page, otherwise a counter that changes on every write
+    /// to the page. Derived caches (decoded instructions) validate
+    /// against this instead of hooking the write path.
+    #[inline]
+    pub fn page_version(&self, addr: u32) -> u64 {
+        match self.slot_of(addr >> PAGE_SHIFT) {
+            Some(slot) => self.versions[slot as usize],
+            None => 0,
+        }
+    }
+
+    /// The `pages[]` slot backing `pageno`, if materialized. Slots are
+    /// stable for the lifetime of the `Memory` (pages are only ever
+    /// appended), so derived caches may pin a slot once and then poll
+    /// [`Memory::version_by_slot`] without touching the TLB or the page
+    /// index again.
+    #[inline]
+    pub(crate) fn slot_of_page(&self, pageno: u32) -> Option<u32> {
+        self.slot_of(pageno)
+    }
+
+    /// The write generation of the page in `slot` (see
+    /// [`Memory::slot_of_page`]).
+    #[inline]
+    pub(crate) fn version_by_slot(&self, slot: u32) -> u64 {
+        self.versions[slot as usize]
     }
 
     /// Reads one byte.
@@ -149,18 +195,35 @@ impl Memory {
         self.write_u32(addr.wrapping_add(4), (value >> 32) as u32);
     }
 
-    /// Copies `bytes` into guest memory starting at `addr`.
+    /// Copies `bytes` into guest memory starting at `addr`,
+    /// page-sliced (one slot lookup per page, not per byte).
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
-        for (i, b) in bytes.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), *b);
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let a = addr.wrapping_add(i as u32);
+            let off = (a & PAGE_MASK) as usize;
+            let n = (PAGE_SIZE - off).min(bytes.len() - i);
+            let slot = self.slot_or_alloc(a >> PAGE_SHIFT) as usize;
+            self.pages[slot][off..off + n].copy_from_slice(&bytes[i..i + n]);
+            i += n;
         }
     }
 
-    /// Reads `len` bytes starting at `addr`.
+    /// Reads `len` bytes starting at `addr`, page-sliced; unmapped
+    /// pages read back as zeroes.
     pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
-        (0..len)
-            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
-            .collect()
+        let mut out = vec![0u8; len];
+        let mut i = 0usize;
+        while i < len {
+            let a = addr.wrapping_add(i as u32);
+            let off = (a & PAGE_MASK) as usize;
+            let n = (PAGE_SIZE - off).min(len - i);
+            if let Some(slot) = self.slot_of(a >> PAGE_SHIFT) {
+                out[i..i + n].copy_from_slice(&self.pages[slot as usize][off..off + n]);
+            }
+            i += n;
+        }
+        out
     }
 
     /// Reads a NUL-terminated C string starting at `addr` (at most
@@ -248,6 +311,34 @@ mod tests {
         let mut m = Memory::new();
         m.write_bytes(0x600, &[0x41; 100]);
         assert_eq!(m.read_cstr_bounded(0x600, 10).len(), 10);
+    }
+
+    #[test]
+    fn page_versions_track_writes() {
+        let mut m = Memory::new();
+        assert_eq!(m.page_version(0x5000), 0, "unmapped page is generation 0");
+        m.write_u8(0x5000, 1);
+        let v1 = m.page_version(0x5000);
+        assert!(v1 >= 1, "materialized page has nonzero generation");
+        m.write_u32(0x5100, 0xAABBCCDD);
+        assert!(m.page_version(0x5000) > v1, "same-page write bumps");
+        let other = m.page_version(0x6000);
+        m.write_u8(0x5001, 2);
+        assert_eq!(m.page_version(0x6000), other, "other pages unaffected");
+        // Reads never bump.
+        let v = m.page_version(0x5000);
+        let _ = m.read_u32(0x5000);
+        let _ = m.read_bytes(0x5000, 64);
+        assert_eq!(m.page_version(0x5000), v);
+    }
+
+    #[test]
+    fn bulk_bytes_cross_many_pages() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..3 * PAGE_SIZE + 17).map(|i| (i % 251) as u8).collect();
+        m.write_bytes(0x1000 - 7, &data);
+        assert_eq!(m.read_bytes(0x1000 - 7, data.len()), data);
+        assert_eq!(m.page_count(), 5, "7 bytes + 3 full pages + 10-byte tail");
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Self-modifying-code correctness of the decoded-instruction cache:
+//! a write to a cached code page must cause the *new* bytes to be
+//! decoded on the next fetch (page-wise invalidation via memory write
+//! generations), both for in-guest stores and for host-side writes
+//! between runs.
+
+use ndroid_arm::exec::step_cached;
+use ndroid_arm::icache::DecodeCache;
+use ndroid_arm::{Assembler, Cond, Cpu, Memory, Reg};
+
+const SENTINEL: u32 = 0xFFFF_FF00;
+
+/// The little-endian encoding of a single assembled instruction.
+fn encoding_of(build: impl FnOnce(&mut Assembler)) -> u32 {
+    let mut asm = Assembler::new(0);
+    build(&mut asm);
+    let code = asm.assemble().unwrap();
+    u32::from_le_bytes(code.bytes[..4].try_into().unwrap())
+}
+
+fn run(cpu: &mut Cpu, mem: &mut Memory, cache: &mut DecodeCache, entry: u32) {
+    cpu.regs[14] = SENTINEL;
+    cpu.set_pc(entry);
+    let mut budget = 10_000u32;
+    while cpu.pc() != SENTINEL {
+        step_cached(cpu, mem, cache).expect("step");
+        budget -= 1;
+        assert!(budget > 0, "runaway guest");
+    }
+}
+
+#[test]
+fn guest_store_into_own_code_page_is_reexecuted_fresh() {
+    // A two-pass loop whose body instruction patches itself: pass 1
+    // executes `add r5, r5, #1`, then stores the encoding of
+    // `add r5, r5, #10` over it; pass 2 must execute the new bytes.
+    let patch = encoding_of(|a| a.add_imm(Reg::R5, Reg::R5, 10).unwrap());
+    let base = 0x0001_0000;
+    let mut asm = Assembler::new(base);
+    asm.mov_imm(Reg::R4, 2).unwrap(); // pass counter
+    asm.mov_imm(Reg::R5, 0).unwrap(); // accumulator
+    asm.ldr_const(Reg::R2, patch);
+    let top = asm.here_label();
+    let patchme = asm.here();
+    asm.add_imm(Reg::R5, Reg::R5, 1).unwrap();
+    asm.ldr_const(Reg::R3, patchme);
+    asm.str(Reg::R2, Reg::R3, 0);
+    asm.subs_imm(Reg::R4, Reg::R4, 1).unwrap();
+    asm.b_cond(Cond::Ne, top);
+    asm.mov(Reg::R0, Reg::R5);
+    asm.bx(Reg::LR);
+    let code = asm.assemble().unwrap();
+
+    let mut mem = Memory::new();
+    mem.write_bytes(base, &code.bytes);
+    let mut cpu = Cpu::new();
+    cpu.regs[13] = 0x0800_0000;
+    let mut cache = DecodeCache::new();
+    run(&mut cpu, &mut mem, &mut cache, base);
+
+    assert_eq!(cpu.regs[0], 11, "1 (original) + 10 (patched), not 2");
+    // Every pass stores into the loop's own page, so each pass
+    // invalidates it — the cache must notice every time.
+    assert!(
+        cache.invalidations > 0,
+        "the self-store invalidated the code page"
+    );
+}
+
+#[test]
+fn hot_loop_is_served_from_the_cache() {
+    let base = 0x0004_0000;
+    let mut asm = Assembler::new(base);
+    asm.mov_imm(Reg::R4, 50).unwrap();
+    let top = asm.here_label();
+    asm.add_imm(Reg::R0, Reg::R0, 1).unwrap();
+    asm.subs_imm(Reg::R4, Reg::R4, 1).unwrap();
+    asm.b_cond(Cond::Ne, top);
+    asm.bx(Reg::LR);
+    let code = asm.assemble().unwrap();
+    let mut mem = Memory::new();
+    mem.write_bytes(base, &code.bytes);
+    let mut cpu = Cpu::new();
+    let mut cache = DecodeCache::new();
+    run(&mut cpu, &mut mem, &mut cache, base);
+    assert_eq!(cpu.regs[0], 50);
+    assert!(cache.hits >= 49 * 3, "loop body decoded once, replayed 49 times");
+    assert_eq!(cache.invalidations, 0, "no writes, no invalidations");
+}
+
+#[test]
+fn host_write_between_runs_invalidates() {
+    let base = 0x0002_0000;
+    let mut asm = Assembler::new(base);
+    asm.mov_imm(Reg::R0, 1).unwrap();
+    asm.bx(Reg::LR);
+    let code = asm.assemble().unwrap();
+
+    let mut mem = Memory::new();
+    mem.write_bytes(base, &code.bytes);
+    let mut cpu = Cpu::new();
+    let mut cache = DecodeCache::new();
+    run(&mut cpu, &mut mem, &mut cache, base);
+    assert_eq!(cpu.regs[0], 1);
+
+    // Rewrite the first instruction from the host side (the moral
+    // equivalent of a JNI/libc host function writing guest memory).
+    let patched = encoding_of(|a| {
+        a.mov_imm(Reg::R0, 2).unwrap();
+    });
+    mem.write_u32(base, patched);
+    run(&mut cpu, &mut mem, &mut cache, base);
+    assert_eq!(cpu.regs[0], 2, "new bytes decoded after the host write");
+    assert!(cache.invalidations > 0);
+}
+
+#[test]
+fn disabled_cache_still_executes_correctly() {
+    let base = 0x0003_0000;
+    let mut asm = Assembler::new(base);
+    asm.mov_imm(Reg::R0, 7).unwrap();
+    asm.add_imm(Reg::R0, Reg::R0, 35).unwrap();
+    asm.bx(Reg::LR);
+    let code = asm.assemble().unwrap();
+    let mut mem = Memory::new();
+    mem.write_bytes(base, &code.bytes);
+    let mut cpu = Cpu::new();
+    let mut cache = DecodeCache::new();
+    cache.enabled = false;
+    run(&mut cpu, &mut mem, &mut cache, base);
+    assert_eq!(cpu.regs[0], 42);
+    assert_eq!((cache.hits, cache.misses), (0, 0), "cache fully bypassed");
+}

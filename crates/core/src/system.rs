@@ -84,6 +84,10 @@ pub struct NDroidSystem {
     pub table: HostTable,
     /// Kernel task table (input to the OS-level view reconstructor).
     pub tasks: TaskWriter,
+    /// Decoded-instruction cache for the guest interpreter (page-wise
+    /// invalidated against memory write generations; `enabled` is the
+    /// A/B knob the `BENCH_taint` suite flips).
+    pub icache: ndroid_arm::icache::DecodeCache,
     analysis: AnalysisBox,
     /// The configuration this system runs under.
     pub mode: Mode,
@@ -169,6 +173,7 @@ impl NDroidSystem {
             budget: 200_000_000,
             table,
             tasks,
+            icache: ndroid_arm::icache::DecodeCache::new(),
             analysis,
             mode,
         }
@@ -238,6 +243,7 @@ impl NDroidSystem {
             trace: &mut self.trace,
             analysis: self.analysis.as_dyn(),
             budget: &mut self.budget,
+            icache: &mut self.icache,
             table: &self.table,
         };
         self.dvm.invoke_with(m, args, &mut runner)
@@ -263,6 +269,7 @@ impl NDroidSystem {
             trace: &mut self.trace,
             analysis: self.analysis.as_dyn(),
             budget: &mut self.budget,
+            icache: &mut self.icache,
         };
         ndroid_emu::runtime::call_guest(&mut ctx, &self.table, entry, args, |_, _| {})
     }

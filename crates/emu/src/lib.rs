@@ -40,5 +40,5 @@ pub use runtime::{
     call_guest, call_java_method, run_native_method, Analysis, GuestRunner, HostTable, NativeCtx,
     VanillaAnalysis,
 };
-pub use shadow::{ShadowState, TaintMap};
+pub use shadow::{HashTaintMap, ShadowState, TaintMap};
 pub use trace::{TraceEvent, TraceLog};

@@ -24,7 +24,8 @@ use crate::kernel::Kernel;
 use crate::layout::RETURN_SENTINEL;
 use crate::shadow::ShadowState;
 use crate::trace::TraceLog;
-use ndroid_arm::exec::{step, Effect};
+use ndroid_arm::exec::{step_cached, Effect};
+use ndroid_arm::icache::DecodeCache;
 use ndroid_arm::{Cpu, Memory};
 use ndroid_dvm::{Dvm, DvmError, MethodId, MethodKind, NativeHandler, Taint};
 use std::collections::HashMap;
@@ -115,6 +116,9 @@ pub struct NativeCtx<'a> {
     pub analysis: &'a mut dyn Analysis,
     /// Remaining guest-instruction budget.
     pub budget: &'a mut u64,
+    /// Decoded-instruction cache shared by every guest run in this
+    /// session (invalidated page-wise via memory write generations).
+    pub icache: &'a mut DecodeCache,
 }
 
 impl NativeCtx<'_> {
@@ -130,6 +134,7 @@ impl NativeCtx<'_> {
             trace: self.trace,
             analysis: self.analysis,
             budget: self.budget,
+            icache: self.icache,
         }
     }
 }
@@ -288,7 +293,7 @@ fn run_loop(ctx: &mut NativeCtx<'_>, table: &HostTable) -> Result<(), EmuError> 
             return Err(EmuError::Timeout { budget: 0 });
         }
         *ctx.budget -= 1;
-        let effect = step(ctx.cpu, ctx.mem)?;
+        let effect = step_cached(ctx.cpu, ctx.mem, ctx.icache)?;
         ctx.analysis.on_insn(ctx.shadow, ctx.cpu, ctx.mem, &effect);
         if let Some(b) = effect.branch {
             ctx.analysis.on_branch(ctx.shadow, b.from, b.to);
@@ -443,6 +448,7 @@ pub fn call_java_method(
             trace: ctx.trace,
             analysis: ctx.analysis,
             budget: ctx.budget,
+            icache: ctx.icache,
             table,
         };
         let dvm: &mut Dvm = ctx.dvm;
@@ -512,6 +518,8 @@ pub struct GuestRunner<'a> {
     pub analysis: &'a mut dyn Analysis,
     /// Remaining instruction budget.
     pub budget: &'a mut u64,
+    /// Decoded-instruction cache.
+    pub icache: &'a mut DecodeCache,
     /// Host-function table.
     pub table: &'a HostTable,
 }
@@ -533,6 +541,7 @@ impl NativeHandler for GuestRunner<'_> {
             trace: self.trace,
             analysis: self.analysis,
             budget: self.budget,
+            icache: self.icache,
         };
         run_native_method(&mut ctx, self.table, method, args, taints).map_err(|e| match e {
             EmuError::Dvm(d) => d,
@@ -557,6 +566,7 @@ mod tests {
         kernel: Kernel,
         trace: TraceLog,
         budget: u64,
+        icache: DecodeCache,
     }
 
     impl World {
@@ -571,6 +581,7 @@ mod tests {
                 kernel: Kernel::new(),
                 trace: TraceLog::new(),
                 budget: 10_000_000,
+                icache: DecodeCache::new(),
             }
         }
 
@@ -584,6 +595,7 @@ mod tests {
                 trace: &mut self.trace,
                 analysis,
                 budget: &mut self.budget,
+                icache: &mut self.icache,
             }
         }
     }
@@ -768,6 +780,7 @@ mod tests {
             trace: &mut w.trace,
             analysis: &mut a,
             budget: &mut w.budget,
+            icache: &mut w.icache,
             table: &table,
         };
         let (v, _) = w.dvm.invoke_with(main, &[], &mut runner).unwrap();

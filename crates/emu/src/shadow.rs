@@ -9,24 +9,391 @@
 //! reference — "the shadow memory uses the indirect reference as key to
 //! locate the taint information" because direct pointers move under GC
 //! (§V-B).
+//!
+//! # Paged layout
+//!
+//! [`TaintMap`] mirrors the 4 KiB page structure of guest memory
+//! ([`ndroid_arm::mem`]): a page index over lazily materialized
+//! `Box<[Taint; PAGE_SIZE]>` bodies, a one-entry TLB for the strongly
+//! local access patterns of the instruction tracer, and two per-page
+//! summary words — `live` (exact count of tainted bytes) and `summary`
+//! (an over-approximate union of the labels stored since the page was
+//! last fully clean). Clean pages answer `get`/`range_taint` without
+//! touching the page body, and every range operation works on page
+//! slices instead of per-byte map probes. [`HashTaintMap`] preserves
+//! the previous sparse-`HashMap` implementation as the reference model
+//! for the differential property test and the `BENCH_taint` suite; it
+//! will be removed once the paged map has soaked.
 
+use ndroid_arm::mem::{PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
 use ndroid_dvm::{IndirectRef, Taint};
+use std::cell::Cell;
 use std::collections::HashMap;
 
-/// Byte-granular shadow memory for taints.
-///
-/// Backed by a sparse hash map: only tainted bytes consume space, so a
-/// mostly-clean guest costs almost nothing — one of the reasons NDroid
-/// is cheaper than whole-system approaches.
-#[derive(Debug, Default, Clone)]
+/// One 4 KiB page of byte taints plus its summary words.
+#[derive(Debug, Clone)]
+struct TaintPage {
+    taints: Box<[Taint; PAGE_SIZE]>,
+    /// Exact number of currently tainted (nonzero) bytes on the page.
+    /// `live == 0` is the clean fast path: readers skip the body.
+    live: u32,
+    /// Union of every label stored while the page had tainted bytes —
+    /// an over-approximation of the union of the page's current bytes,
+    /// reset to `CLEAR` whenever `live` drops to 0. `range_taint` uses
+    /// it to skip pages that cannot contribute new label bits.
+    summary: Taint,
+}
+
+impl TaintPage {
+    fn new() -> TaintPage {
+        TaintPage {
+            taints: Box::new([Taint::CLEAR; PAGE_SIZE]),
+            live: 0,
+            summary: Taint::CLEAR,
+        }
+    }
+}
+
+fn count_tainted(s: &[Taint]) -> usize {
+    s.iter().filter(|t| t.is_tainted()).count()
+}
+
+/// Byte-granular shadow memory for taints, organized as two-level
+/// paged storage (see the module docs). Only pages that have ever held
+/// taint are materialized, so a mostly-clean guest still costs almost
+/// nothing — one of the reasons NDroid is cheaper than whole-system
+/// approaches.
+#[derive(Debug, Default)]
 pub struct TaintMap {
-    bytes: HashMap<u32, Taint>,
+    pages: Vec<TaintPage>,
+    index: HashMap<u32, u32>,
+    tlb: Cell<Option<(u32, u32)>>, // (page number, pages[] slot)
+}
+
+impl Clone for TaintMap {
+    fn clone(&self) -> TaintMap {
+        TaintMap {
+            pages: self.pages.clone(),
+            index: self.index.clone(),
+            tlb: Cell::new(None),
+        }
+    }
 }
 
 impl TaintMap {
     /// An empty (all-clear) map.
     pub fn new() -> TaintMap {
         TaintMap::default()
+    }
+
+    #[inline]
+    fn slot_of(&self, pageno: u32) -> Option<u32> {
+        if let Some((p, slot)) = self.tlb.get() {
+            if p == pageno {
+                return Some(slot);
+            }
+        }
+        let slot = *self.index.get(&pageno)?;
+        self.tlb.set(Some((pageno, slot)));
+        Some(slot)
+    }
+
+    #[inline]
+    fn slot_or_alloc(&mut self, pageno: u32) -> u32 {
+        if let Some(slot) = self.slot_of(pageno) {
+            return slot;
+        }
+        let slot = self.pages.len() as u32;
+        self.pages.push(TaintPage::new());
+        self.index.insert(pageno, slot);
+        self.tlb.set(Some((pageno, slot)));
+        slot
+    }
+
+    /// The taint of one byte.
+    #[inline]
+    pub fn get(&self, addr: u32) -> Taint {
+        match self.slot_of(addr >> PAGE_SHIFT) {
+            Some(slot) => {
+                let p = &self.pages[slot as usize];
+                if p.live == 0 {
+                    Taint::CLEAR
+                } else {
+                    p.taints[(addr & PAGE_MASK) as usize]
+                }
+            }
+            None => Taint::CLEAR,
+        }
+    }
+
+    /// Overwrites one byte's taint.
+    #[inline]
+    pub fn set(&mut self, addr: u32, taint: Taint) {
+        if taint.is_clear() {
+            // Never materialize a page just to store CLEAR.
+            let Some(slot) = self.slot_of(addr >> PAGE_SHIFT) else {
+                return;
+            };
+            let p = &mut self.pages[slot as usize];
+            if p.live == 0 {
+                return;
+            }
+            let b = &mut p.taints[(addr & PAGE_MASK) as usize];
+            if b.is_tainted() {
+                *b = Taint::CLEAR;
+                p.live -= 1;
+                if p.live == 0 {
+                    p.summary = Taint::CLEAR;
+                }
+            }
+        } else {
+            let slot = self.slot_or_alloc(addr >> PAGE_SHIFT);
+            let p = &mut self.pages[slot as usize];
+            let b = &mut p.taints[(addr & PAGE_MASK) as usize];
+            if b.is_clear() {
+                p.live += 1;
+            }
+            *b = taint;
+            p.summary |= taint;
+        }
+    }
+
+    /// Unions `taint` into one byte.
+    #[inline]
+    pub fn add(&mut self, addr: u32, taint: Taint) {
+        if taint.is_clear() {
+            return;
+        }
+        let slot = self.slot_or_alloc(addr >> PAGE_SHIFT);
+        let p = &mut self.pages[slot as usize];
+        let b = &mut p.taints[(addr & PAGE_MASK) as usize];
+        if b.is_clear() {
+            p.live += 1;
+        }
+        *b |= taint;
+        p.summary |= taint;
+    }
+
+    /// Overwrites a byte range with `taint`, page slice by page slice.
+    pub fn set_range(&mut self, addr: u32, len: u32, taint: Taint) {
+        if taint.is_clear() {
+            self.clear_range(addr, len);
+            return;
+        }
+        let mut i = 0u32;
+        while i < len {
+            let a = addr.wrapping_add(i);
+            let off = (a & PAGE_MASK) as usize;
+            let n = ((PAGE_SIZE - off) as u32).min(len - i) as usize;
+            let slot = self.slot_or_alloc(a >> PAGE_SHIFT);
+            let p = &mut self.pages[slot as usize];
+            let already = if n == PAGE_SIZE {
+                p.live as usize
+            } else {
+                count_tainted(&p.taints[off..off + n])
+            };
+            p.taints[off..off + n].fill(taint);
+            p.live += (n - already) as u32;
+            p.summary |= taint;
+            i += n as u32;
+        }
+    }
+
+    /// Unions `taint` over a byte range.
+    pub fn add_range(&mut self, addr: u32, len: u32, taint: Taint) {
+        if taint.is_clear() {
+            return;
+        }
+        let mut i = 0u32;
+        while i < len {
+            let a = addr.wrapping_add(i);
+            let off = (a & PAGE_MASK) as usize;
+            let n = ((PAGE_SIZE - off) as u32).min(len - i) as usize;
+            let slot = self.slot_or_alloc(a >> PAGE_SHIFT);
+            let p = &mut self.pages[slot as usize];
+            let mut newly = 0u32;
+            for b in &mut p.taints[off..off + n] {
+                if b.is_clear() {
+                    newly += 1;
+                }
+                *b |= taint;
+            }
+            p.live += newly;
+            p.summary |= taint;
+            i += n as u32;
+        }
+    }
+
+    /// The union of taints over a byte range. Clean pages are skipped
+    /// via the `live` count, and pages whose `summary` cannot add new
+    /// label bits are skipped without scanning.
+    pub fn range_taint(&self, addr: u32, len: u32) -> Taint {
+        let mut acc = Taint::CLEAR;
+        let mut i = 0u32;
+        while i < len {
+            let a = addr.wrapping_add(i);
+            let off = (a & PAGE_MASK) as usize;
+            let n = ((PAGE_SIZE - off) as u32).min(len - i) as usize;
+            if let Some(slot) = self.slot_of(a >> PAGE_SHIFT) {
+                let p = &self.pages[slot as usize];
+                if p.live != 0 && p.summary.0 & !acc.0 != 0 {
+                    for b in &p.taints[off..off + n] {
+                        acc |= *b;
+                    }
+                }
+            }
+            i += n as u32;
+        }
+        acc
+    }
+
+    /// Clears a byte range.
+    pub fn clear_range(&mut self, addr: u32, len: u32) {
+        let mut i = 0u32;
+        while i < len {
+            let a = addr.wrapping_add(i);
+            let off = (a & PAGE_MASK) as usize;
+            let n = ((PAGE_SIZE - off) as u32).min(len - i) as usize;
+            self.clear_chunk(a >> PAGE_SHIFT, off, n);
+            i += n as u32;
+        }
+    }
+
+    /// Clears `n` bytes on one page (no-op for unmapped/clean pages).
+    fn clear_chunk(&mut self, pageno: u32, off: usize, n: usize) {
+        let Some(slot) = self.slot_of(pageno) else {
+            return;
+        };
+        let p = &mut self.pages[slot as usize];
+        if p.live == 0 {
+            return;
+        }
+        let cleared = if n == PAGE_SIZE {
+            p.live as usize
+        } else {
+            count_tainted(&p.taints[off..off + n])
+        };
+        if cleared == 0 {
+            return;
+        }
+        p.taints[off..off + n].fill(Taint::CLEAR);
+        p.live -= cleared as u32;
+        if p.live == 0 {
+            p.summary = Taint::CLEAR;
+        }
+    }
+
+    /// Copies taints from `src` to `dst` (the `memcpy` model of the
+    /// paper's Listing 3), allocation-free: overlap is handled by copy
+    /// direction (memmove-style), and each chunk is a page-slice
+    /// `copy_from_slice`/`copy_within` rather than per-byte probes.
+    pub fn copy_range(&mut self, dst: u32, src: u32, len: u32) {
+        let d = dst.wrapping_sub(src);
+        if d == 0 || len == 0 {
+            return;
+        }
+        if d < len {
+            // dst overlaps ahead of src: copy high-to-low so no source
+            // byte is overwritten before it is read.
+            let mut remaining = len;
+            while remaining > 0 {
+                let s_end = src.wrapping_add(remaining);
+                let d_end = dst.wrapping_add(remaining);
+                // Bytes available back to each page's start (1..=PAGE).
+                let s_room = ((s_end.wrapping_sub(1) & PAGE_MASK) + 1).min(remaining);
+                let n = ((d_end.wrapping_sub(1) & PAGE_MASK) + 1).min(s_room);
+                let i = remaining - n;
+                self.copy_chunk(dst.wrapping_add(i), src.wrapping_add(i), n as usize);
+                remaining = i;
+            }
+        } else {
+            let mut i = 0u32;
+            while i < len {
+                let s = src.wrapping_add(i);
+                let dd = dst.wrapping_add(i);
+                let s_room = ((PAGE_SIZE as u32) - (s & PAGE_MASK)).min(len - i);
+                let n = ((PAGE_SIZE as u32) - (dd & PAGE_MASK)).min(s_room);
+                self.copy_chunk(dd, s, n as usize);
+                i += n;
+            }
+        }
+    }
+
+    /// Copies `n` bytes between two single-page slices (which may be
+    /// the same page; `copy_within` handles intra-page overlap).
+    fn copy_chunk(&mut self, dst: u32, src: u32, n: usize) {
+        let d_off = (dst & PAGE_MASK) as usize;
+        let s_off = (src & PAGE_MASK) as usize;
+        let Some(s_slot) = self.slot_of(src >> PAGE_SHIFT) else {
+            self.clear_chunk(dst >> PAGE_SHIFT, d_off, n);
+            return;
+        };
+        let sp = &self.pages[s_slot as usize];
+        if sp.live == 0 || count_tainted(&sp.taints[s_off..s_off + n]) == 0 {
+            self.clear_chunk(dst >> PAGE_SHIFT, d_off, n);
+            return;
+        }
+        if src >> PAGE_SHIFT == dst >> PAGE_SHIFT {
+            let p = &mut self.pages[s_slot as usize];
+            let before = count_tainted(&p.taints[d_off..d_off + n]);
+            p.taints.copy_within(s_off..s_off + n, d_off);
+            let after = count_tainted(&p.taints[d_off..d_off + n]);
+            p.live -= before as u32;
+            p.live += after as u32;
+            if p.live == 0 {
+                p.summary = Taint::CLEAR;
+            }
+            return;
+        }
+        let d_slot = self.slot_or_alloc(dst >> PAGE_SHIFT);
+        debug_assert_ne!(s_slot, d_slot);
+        let (sp, dp) = {
+            let (a, b) = (s_slot as usize, d_slot as usize);
+            if a < b {
+                let (lo, hi) = self.pages.split_at_mut(b);
+                (&lo[a], &mut hi[0])
+            } else {
+                let (lo, hi) = self.pages.split_at_mut(a);
+                (&hi[0], &mut lo[b])
+            }
+        };
+        let before = count_tainted(&dp.taints[d_off..d_off + n]);
+        dp.taints[d_off..d_off + n].copy_from_slice(&sp.taints[s_off..s_off + n]);
+        let after = count_tainted(&dp.taints[d_off..d_off + n]);
+        dp.live -= before as u32;
+        dp.live += after as u32;
+        dp.summary |= sp.summary;
+        if dp.live == 0 {
+            dp.summary = Taint::CLEAR;
+        }
+    }
+
+    /// Number of tainted bytes.
+    pub fn tainted_bytes(&self) -> usize {
+        self.pages.iter().map(|p| p.live as usize).sum()
+    }
+
+    /// Number of shadow pages currently materialized.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// The pre-paging sparse `HashMap<u32, Taint>` shadow memory, one
+/// entry per tainted byte. Kept as the executable reference model for
+/// the paged [`TaintMap`]: the differential property test replays the
+/// same operation sequences against both, and `BENCH_taint.json`
+/// records the speedup. Scheduled for removal once the paged map has
+/// soaked for a few PRs.
+#[derive(Debug, Default, Clone)]
+pub struct HashTaintMap {
+    bytes: HashMap<u32, Taint>,
+}
+
+impl HashTaintMap {
+    /// An empty (all-clear) map.
+    pub fn new() -> HashTaintMap {
+        HashTaintMap::default()
     }
 
     /// The taint of one byte.
@@ -83,10 +450,10 @@ impl TaintMap {
         }
     }
 
-    /// Copies taints byte-by-byte from `src` to `dst` (the `memcpy`
-    /// model of the paper's Listing 3).
+    /// Copies taints byte-by-byte from `src` to `dst`, collecting into
+    /// an intermediate `Vec` first (the allocation the paged map's
+    /// directional copy eliminates).
     pub fn copy_range(&mut self, dst: u32, src: u32, len: u32) {
-        // Collect first in case ranges overlap.
         let taints: Vec<Taint> = (0..len).map(|i| self.get(src.wrapping_add(i))).collect();
         for (i, t) in taints.into_iter().enumerate() {
             self.set(dst.wrapping_add(i as u32), t);
@@ -174,6 +541,17 @@ mod tests {
     }
 
     #[test]
+    fn clear_never_materializes_pages() {
+        let mut m = TaintMap::new();
+        m.set(0x9000, Taint::CLEAR);
+        m.set_range(0x20_0000, 0x3000, Taint::CLEAR);
+        m.clear_range(0x30_0000, 0x3000);
+        m.add_range(0x40_0000, 0x3000, Taint::CLEAR);
+        assert_eq!(m.page_count(), 0, "clear writes stay free");
+        assert_eq!(m.range_taint(0x20_0000, 0x3000), Taint::CLEAR);
+    }
+
+    #[test]
     fn range_operations() {
         let mut m = TaintMap::new();
         m.set_range(0x100, 8, Taint::SMS);
@@ -183,6 +561,32 @@ mod tests {
         m.clear_range(0x100, 4);
         assert_eq!(m.range_taint(0x100, 4), Taint::CLEAR);
         assert_eq!(m.range_taint(0x104, 4), Taint::SMS);
+    }
+
+    #[test]
+    fn range_operations_cross_pages() {
+        let mut m = TaintMap::new();
+        let base = 0x3000 - 16; // straddles a page boundary
+        m.set_range(base, 64, Taint::SMS);
+        assert_eq!(m.page_count(), 2);
+        assert_eq!(m.tainted_bytes(), 64);
+        assert_eq!(m.range_taint(base, 64), Taint::SMS);
+        m.add_range(base + 8, 16, Taint::IMEI);
+        assert_eq!(m.range_taint(base, 8), Taint::SMS);
+        assert_eq!(m.range_taint(base + 8, 16), Taint::SMS | Taint::IMEI);
+        m.clear_range(base, 64);
+        assert_eq!(m.tainted_bytes(), 0);
+        assert_eq!(m.range_taint(base, 64), Taint::CLEAR);
+    }
+
+    #[test]
+    fn set_range_wraps_address_space() {
+        let mut m = TaintMap::new();
+        m.set_range(u32::MAX - 3, 8, Taint::MIC);
+        assert_eq!(m.get(u32::MAX), Taint::MIC);
+        assert_eq!(m.get(3), Taint::MIC);
+        assert_eq!(m.get(4), Taint::CLEAR);
+        assert_eq!(m.tainted_bytes(), 8);
     }
 
     #[test]
@@ -203,6 +607,40 @@ mod tests {
         m.copy_range(0x401, 0x400, 4); // overlapping forward copy
         assert_eq!(m.get(0x401), Taint::IMEI);
         assert_eq!(m.get(0x402), Taint::CLEAR);
+    }
+
+    #[test]
+    fn copy_range_overlap_backward() {
+        let mut m = TaintMap::new();
+        m.set(0x503, Taint::SMS);
+        m.copy_range(0x500, 0x501, 4); // dst < src overlap
+        assert_eq!(m.get(0x502), Taint::SMS);
+        assert_eq!(m.get(0x503), Taint::CLEAR, "overwritten by clear source byte");
+    }
+
+    #[test]
+    fn copy_range_across_pages_with_skew() {
+        // src and dst straddle different page boundaries, so chunking
+        // must split on both.
+        let mut m = TaintMap::new();
+        for i in 0..32 {
+            if i % 3 == 0 {
+                m.set(0x1FF0 + i, Taint::CONTACTS);
+            }
+        }
+        m.copy_range(0x4FFB, 0x1FF0, 32);
+        for i in 0..32u32 {
+            let want = if i % 3 == 0 { Taint::CONTACTS } else { Taint::CLEAR };
+            assert_eq!(m.get(0x4FFB + i), want, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn copy_from_unmapped_clears_destination() {
+        let mut m = TaintMap::new();
+        m.set_range(0x800, 8, Taint::IMEI);
+        m.copy_range(0x800, 0x9_0000, 8); // source never touched
+        assert_eq!(m.tainted_bytes(), 0);
     }
 
     #[test]

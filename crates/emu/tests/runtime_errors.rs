@@ -2,6 +2,7 @@
 //! failures, undefined instructions, and budget exhaustion in nested
 //! contexts.
 
+use ndroid_arm::icache::DecodeCache;
 use ndroid_arm::reg::RegList;
 use ndroid_arm::{Assembler, Cpu, Memory, Reg};
 use ndroid_dvm::{Dvm, Program};
@@ -17,6 +18,7 @@ struct World {
     kernel: Kernel,
     trace: TraceLog,
     budget: u64,
+    icache: DecodeCache,
 }
 
 impl World {
@@ -31,6 +33,7 @@ impl World {
             kernel: Kernel::new(),
             trace: TraceLog::new(),
             budget: 100_000,
+            icache: DecodeCache::new(),
         }
     }
 
@@ -49,6 +52,7 @@ impl World {
             trace: &mut self.trace,
             analysis: &mut analysis,
             budget: &mut self.budget,
+            icache: &mut self.icache,
         };
         call_guest(&mut ctx, table, entry, &[], |_, _| {})
     }

@@ -2,6 +2,7 @@
 //! into the trap addresses, exercising arrays, fields, objects,
 //! references and exceptions with taint tracking active.
 
+use ndroid_arm::icache::DecodeCache;
 use ndroid_arm::reg::RegList;
 use ndroid_arm::{Assembler, Cpu, Memory, Reg};
 use ndroid_dvm::framework::install_framework;
@@ -54,6 +55,7 @@ struct World {
     kernel: Kernel,
     trace: TraceLog,
     budget: u64,
+    icache: DecodeCache,
     table: HostTable,
 }
 
@@ -92,6 +94,7 @@ impl World {
             kernel: Kernel::new(),
             trace: TraceLog::new(),
             budget: 1_000_000,
+            icache: DecodeCache::new(),
             table,
         }
     }
@@ -113,6 +116,7 @@ impl World {
             trace: &mut self.trace,
             analysis: &mut analysis,
             budget: &mut self.budget,
+            icache: &mut self.icache,
         };
         let (r0, _) = call_guest(&mut ctx, &self.table, code.base, args, |_, _| {})
             .expect("guest run");

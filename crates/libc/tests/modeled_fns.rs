@@ -2,6 +2,7 @@
 //! code `BLX`ing into the trap addresses, with a native-tracking
 //! analysis so the `TrustCallPolicy` taint transfers are observable.
 
+use ndroid_arm::icache::DecodeCache;
 use ndroid_arm::{Assembler, Cpu, Memory, Reg};
 use ndroid_dvm::{Dvm, Program, Taint};
 use ndroid_emu::layout;
@@ -28,6 +29,7 @@ struct World {
     kernel: Kernel,
     trace: TraceLog,
     budget: u64,
+    icache: DecodeCache,
     table: HostTable,
 }
 
@@ -45,6 +47,7 @@ impl World {
             kernel: Kernel::new(),
             trace: TraceLog::new(),
             budget: 1_000_000,
+            icache: DecodeCache::new(),
             table,
         }
     }
@@ -67,6 +70,7 @@ impl World {
             trace: &mut self.trace,
             analysis: &mut analysis,
             budget: &mut self.budget,
+            icache: &mut self.icache,
         };
         let (r0, _) = call_guest(&mut ctx, &self.table, code.base, &[], |_, _| {})
             .expect("guest run");
@@ -343,6 +347,7 @@ fn libm_taint_flows_through_math() {
         trace: &mut w.trace,
         analysis: &mut analysis,
         budget: &mut w.budget,
+        icache: &mut w.icache,
     };
     ctx.cpu.regs[0] = x as u32;
     ctx.cpu.regs[1] = (x >> 32) as u32;

@@ -2,6 +2,7 @@
 //! truncation, endptr semantics, allocator growth, and the va_list
 //! printf variants — all via genuine guest code.
 
+use ndroid_arm::icache::DecodeCache;
 use ndroid_arm::reg::RegList;
 use ndroid_arm::{Assembler, Cpu, Memory, Reg};
 use ndroid_dvm::{Dvm, Program, Taint};
@@ -25,6 +26,7 @@ struct World {
     kernel: Kernel,
     trace: TraceLog,
     budget: u64,
+    icache: DecodeCache,
     table: HostTable,
 }
 
@@ -42,6 +44,7 @@ impl World {
             kernel: Kernel::new(),
             trace: TraceLog::new(),
             budget: 1_000_000,
+            icache: DecodeCache::new(),
             table,
         }
     }
@@ -63,6 +66,7 @@ impl World {
             trace: &mut self.trace,
             analysis: &mut analysis,
             budget: &mut self.budget,
+            icache: &mut self.icache,
         };
         call_guest(&mut ctx, &self.table, code.base, &[], |_, _| {})
             .unwrap()

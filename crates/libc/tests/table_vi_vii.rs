@@ -5,6 +5,7 @@
 //! `memcpy`/`strcpy`/`sprintf` (§V-D, Listing 3) and leak reporting on
 //! `write*`/`send*` (Fig. 7/8).
 
+use ndroid_arm::icache::DecodeCache;
 use ndroid_arm::{Cpu, Memory};
 use ndroid_dvm::{Dvm, Program, Taint};
 use ndroid_emu::layout;
@@ -31,6 +32,7 @@ struct W {
     kernel: Kernel,
     trace: TraceLog,
     budget: u64,
+    icache: DecodeCache,
 }
 
 impl W {
@@ -45,6 +47,7 @@ impl W {
             kernel: Kernel::new(),
             trace: TraceLog::new(),
             budget: 1_000_000,
+            icache: DecodeCache::new(),
         }
     }
 
@@ -66,6 +69,7 @@ impl W {
             trace: &mut self.trace,
             analysis: &mut analysis,
             budget: &mut self.budget,
+            icache: &mut self.icache,
         };
         f(&mut ctx).expect("host fn")
     }

@@ -30,9 +30,15 @@ echo "== bench smoke pass (TESTKIT_BENCH_SMOKE=1) =="
 BENCH_DIR="$(mktemp -d)"
 TESTKIT_BENCH_SMOKE=1 TESTKIT_BENCH_DIR="$BENCH_DIR" \
   cargo bench -q --offline -p ndroid-bench
-for f in BENCH_cfbench.json BENCH_ablations.json; do
+for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json; do
   if [ ! -s "$BENCH_DIR/$f" ]; then
     echo "error: bench smoke did not produce $f" >&2
+    exit 1
+  fi
+  # Reject truncated/malformed reports: every suite JSON carries a
+  # "results" array and at least one named benchmark.
+  if ! grep -q '"results"' "$BENCH_DIR/$f" || ! grep -q '"median_ns"' "$BENCH_DIR/$f"; then
+    echo "error: $f is malformed (missing results)" >&2
     exit 1
   fi
 done
