@@ -63,9 +63,26 @@ impl App {
     ///
     /// Propagates interpreter/guest failures.
     pub fn run(self, mode: Mode) -> Result<NDroidSystem, DvmError> {
+        self.run_configured(mode, |_| {})
+    }
+
+    /// Like [`App::run`], but applies `configure` to the booted system
+    /// before the entry point runs — e.g.
+    /// [`NDroidSystem::use_reference_engine`] for differential-oracle
+    /// runs, or ablation knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter/guest failures.
+    pub fn run_configured(
+        self,
+        mode: Mode,
+        configure: impl FnOnce(&mut NDroidSystem),
+    ) -> Result<NDroidSystem, DvmError> {
         let entry = self.entry.clone();
         let native_entry = self.native_entry;
         let mut sys = self.launch(mode);
+        configure(&mut sys);
         match native_entry {
             // Type-III (pure native) app: the entry is ARM code.
             Some(addr) => {

@@ -1,0 +1,91 @@
+//! Gallery-level differential oracle: each gallery app runs twice —
+//! once under the optimized NDroid analysis (handler cache + decoded-
+//! instruction cache) and once with the reference engine substituted
+//! ([`NDroidSystem::use_reference_engine`]: straight-line `ref_propagate`,
+//! no caches) — and the externally observable reports must match
+//! exactly: leak events (sink, destination, payload, taint label,
+//! context), the kernel's network log, and protection violations.
+//!
+//! This closes the gap the pure-native property suite cannot cover:
+//! JNI marshalling, source policies, host-modeled libc functions and
+//! sinks all read the *shared* shadow state, so an optimized-tracer
+//! bug anywhere on those paths shows up as a report diff here.
+
+use ndroid_apps::{crypto_hider, qq_phonebook, thumb_spy, App};
+use ndroid_core::{Mode, NDroidSystem};
+use ndroid_dvm::{LeakEvent, Taint};
+
+fn run_optimized(build: fn() -> App) -> NDroidSystem {
+    build().run(Mode::NDroid).expect("optimized run")
+}
+
+fn run_reference(build: fn() -> App) -> NDroidSystem {
+    build()
+        .run_configured(Mode::NDroid, NDroidSystem::use_reference_engine)
+        .expect("reference run")
+}
+
+fn assert_reports_match(build: fn() -> App, name: &str) {
+    let mut opt = run_optimized(build);
+    let reference = run_reference(build);
+    assert!(
+        reference.reference_analysis().is_some(),
+        "{name}: reference engine must actually be installed"
+    );
+
+    let opt_events: Vec<LeakEvent> = opt.all_sink_events().into_iter().cloned().collect();
+    let ref_events: Vec<LeakEvent> = reference.all_sink_events().into_iter().cloned().collect();
+    assert_eq!(
+        opt_events, ref_events,
+        "{name}: sink-event reports diverge between engines"
+    );
+
+    assert_eq!(
+        opt.kernel.network_log, reference.kernel.network_log,
+        "{name}: network logs diverge between engines"
+    );
+
+    let opt_violations = opt
+        .ndroid_analysis_mut()
+        .map(|a| a.violations.clone())
+        .unwrap_or_default();
+    let ref_violations = reference
+        .reference_analysis()
+        .map(|a| a.violations().to_vec())
+        .unwrap_or_default();
+    assert_eq!(
+        opt_violations, ref_violations,
+        "{name}: protection violations diverge between engines"
+    );
+}
+
+#[test]
+fn qq_phonebook_reports_match_reference() {
+    assert_reports_match(qq_phonebook::qq_phonebook, "qq_phonebook");
+    // And the pinned leak survives under the reference engine too.
+    let sys = run_reference(qq_phonebook::qq_phonebook);
+    let leaks = sys.leaks();
+    assert_eq!(leaks.len(), 1);
+    assert_eq!(leaks[0].sink, "HttpClient.post");
+    assert_eq!(leaks[0].dest, "sync.3g.qq.com");
+    assert_eq!(leaks[0].taint, Taint::CONTACTS | Taint::SMS);
+}
+
+#[test]
+fn thumb_spy_reports_match_reference() {
+    assert_reports_match(thumb_spy::thumb_spy, "thumb_spy");
+    let sys = run_reference(thumb_spy::thumb_spy);
+    let leaks = sys.leaks();
+    assert_eq!(leaks.len(), 1);
+    assert_eq!(leaks[0].data, "Vincent");
+    assert_eq!(leaks[0].taint, Taint::CONTACTS);
+}
+
+#[test]
+fn crypto_hider_reports_match_reference() {
+    assert_reports_match(crypto_hider::crypto_hider, "crypto_hider");
+    let sys = run_reference(crypto_hider::crypto_hider);
+    let leaks = sys.leaks();
+    assert_eq!(leaks.len(), 1);
+    assert_eq!(leaks[0].taint, Taint::CONTACTS);
+}

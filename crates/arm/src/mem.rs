@@ -104,18 +104,19 @@ impl Memory {
 
     /// The `pages[]` slot backing `pageno`, if materialized. Slots are
     /// stable for the lifetime of the `Memory` (pages are only ever
-    /// appended), so derived caches may pin a slot once and then poll
-    /// [`Memory::version_by_slot`] without touching the TLB or the page
-    /// index again.
+    /// appended), so derived caches — the decoded-instruction cache and
+    /// the taint tracer's handler-classification cache — may pin a slot
+    /// once and then poll [`Memory::version_by_slot`] without touching
+    /// the TLB or the page index again.
     #[inline]
-    pub(crate) fn slot_of_page(&self, pageno: u32) -> Option<u32> {
+    pub fn slot_of_page(&self, pageno: u32) -> Option<u32> {
         self.slot_of(pageno)
     }
 
     /// The write generation of the page in `slot` (see
     /// [`Memory::slot_of_page`]).
     #[inline]
-    pub(crate) fn version_by_slot(&self, slot: u32) -> u64 {
+    pub fn version_by_slot(&self, slot: u32) -> u64 {
         self.versions[slot as usize]
     }
 

@@ -55,7 +55,7 @@ pub struct ProtectionViolation {
 
 /// Classifies an address against the VM-private regions the taint
 /// protector guards.
-fn protected_region(addr: u32) -> Option<&'static str> {
+pub(crate) fn protected_region(addr: u32) -> Option<&'static str> {
     use ndroid_dvm::heap::HEAP_BASE;
     use ndroid_dvm::stack::STACK_BASE;
     if (STACK_BASE..STACK_BASE + 0x0010_0000).contains(&addr) {
@@ -207,7 +207,7 @@ impl Analysis for NDroidAnalysis {
         // (it does not trust the translation layer), and the hot-handler
         // cache skips that identification for already-seen PCs.
         let relevant = match if self.use_cache {
-            self.cache.lookup(effect.pc)
+            self.cache.lookup(mem, effect.pc, cpu.thumb)
         } else {
             None
         } {
@@ -224,7 +224,7 @@ impl Analysis for NDroidAnalysis {
                     }
                 };
                 if self.use_cache {
-                    self.cache.insert(effect.pc, relevant);
+                    self.cache.insert(mem, effect.pc, cpu.thumb, relevant);
                 }
                 relevant
             }

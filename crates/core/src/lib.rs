@@ -22,6 +22,7 @@
 
 pub mod analysis;
 pub mod baseline;
+pub mod oracle;
 pub mod report;
 pub mod source_policy;
 pub mod system;
@@ -29,6 +30,10 @@ pub mod tracer;
 
 pub use analysis::{NDroidAnalysis, ProtectionViolation};
 pub use baseline::{DroidScopeLikeAnalysis, TaintDroidAnalysis};
+pub use oracle::{
+    check_oracle, diff_taint_state, ref_propagate, EngineRun, OracleProgram, OracleVerdict,
+    ReferenceAnalysis, StopReason,
+};
 pub use report::{CaseOutcome, DetectionReport};
 pub use source_policy::SourcePolicy;
 pub use system::{Mode, NDroidSystem};

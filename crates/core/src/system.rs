@@ -6,6 +6,7 @@
 
 use crate::analysis::{AnalysisStats, NDroidAnalysis};
 use crate::baseline::{DroidScopeLikeAnalysis, TaintDroidAnalysis};
+use crate::oracle::ReferenceAnalysis;
 use ndroid_arm::asm::CodeBlock;
 use ndroid_arm::{Cpu, Memory};
 use ndroid_dvm::{Dvm, DvmError, LeakEvent, Program, Taint};
@@ -50,6 +51,9 @@ enum AnalysisBox {
     TaintDroid(TaintDroidAnalysis),
     NDroid(Box<NDroidAnalysis>),
     DroidScope(Box<DroidScopeLikeAnalysis>),
+    /// The differential oracle's reference engine substituted for the
+    /// optimized NDroid tracer (see [`crate::oracle`]).
+    Reference(Box<ReferenceAnalysis>),
 }
 
 impl AnalysisBox {
@@ -59,6 +63,7 @@ impl AnalysisBox {
             AnalysisBox::TaintDroid(a) => a,
             AnalysisBox::NDroid(a) => a.as_mut(),
             AnalysisBox::DroidScope(a) => a.as_mut(),
+            AnalysisBox::Reference(a) => a.as_mut(),
         }
     }
 }
@@ -304,6 +309,24 @@ impl NDroidSystem {
     pub fn ndroid_analysis_mut(&mut self) -> Option<&mut NDroidAnalysis> {
         match &mut self.analysis {
             AnalysisBox::NDroid(a) => Some(a.as_mut()),
+            _ => None,
+        }
+    }
+
+    /// Swaps the optimized NDroid tracer for the differential oracle's
+    /// reference engine (and disables the decoded-instruction cache,
+    /// so the run uses no fast path at all). Only meaningful on a
+    /// system booted in [`Mode::NDroid`]; call before running the app.
+    pub fn use_reference_engine(&mut self) {
+        self.analysis = AnalysisBox::Reference(Box::new(ReferenceAnalysis::new()));
+        self.icache.enabled = false;
+    }
+
+    /// The reference analysis, when [`Self::use_reference_engine`] was
+    /// applied.
+    pub fn reference_analysis(&self) -> Option<&ReferenceAnalysis> {
+        match &self.analysis {
+            AnalysisBox::Reference(a) => Some(a.as_ref()),
             _ => None,
         }
     }

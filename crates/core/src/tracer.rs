@@ -25,6 +25,7 @@
 
 use ndroid_arm::exec::Effect;
 use ndroid_arm::insn::{Instr, MemOffset, Op2, VfpOp, VfpPrec};
+use ndroid_arm::mem::{Memory, PAGE_SHIFT};
 use ndroid_arm::reg::Reg;
 use ndroid_dvm::Taint;
 use ndroid_emu::shadow::ShadowState;
@@ -76,10 +77,26 @@ pub fn propagate(shadow: &mut ShadowState, effect: &Effect) {
             rd,
             rn,
             offset,
+            pre,
+            writeback,
             ..
         } => {
             let Some(addr) = effect.addr else { return };
             let width = size.bytes();
+            // Base-register writeback (`LDR Rd, [Rn, Rm]!` and every
+            // post-indexed form) leaves Rn = Rn ± offset — pointer
+            // arithmetic, so the offset register's taint joins t(Rn)
+            // (an immediate offset cannot change t(Rn)). Applied before
+            // the destination write so a load with rd == rn keeps the
+            // loaded value's taint, matching the executor's own write
+            // order (Rn writeback first, Rd last).
+            if writeback || !pre {
+                if let MemOffset::Reg { rm, .. } = offset {
+                    if rn != Reg::PC {
+                        shadow.regs[rn.index()] |= shadow.regs[rm.index()];
+                    }
+                }
+            }
             if load {
                 // t(Rd) = t(M[addr]) OR t(Rn) — the address-taint rule.
                 let mut t = shadow.mem.range_taint(addr, width) | shadow.regs[rn.index()];
@@ -97,6 +114,8 @@ pub fn propagate(shadow: &mut ShadowState, effect: &Effect) {
         Instr::MemMulti {
             load, rn, regs, ..
         } => {
+            // Writeback here is `Rn ± 4·n` — a constant offset — so
+            // t(Rn) is unchanged, unlike the register-offset case above.
             let Some(start) = effect.addr else { return };
             let base_taint = shadow.regs[rn.index()];
             for (i, r) in regs.iter().enumerate() {
@@ -183,13 +202,49 @@ pub fn propagate(shadow: &mut ShadowState, effect: &Effect) {
 /// the corresponding handlers", §V-C). With our pre-decoded [`Instr`]
 /// model the win is small; the cache exists so the ablation benchmark
 /// (`ablate_decode_cache`) can measure exactly that claim.
+///
+/// Entries are keyed by `(pc, thumb)` — ARM and Thumb decodes of the
+/// same address are different instructions — and validated against the
+/// [`Memory::page_version`] write generation, like the decoded-
+/// instruction cache ([`ndroid_arm::icache::DecodeCache`]): when
+/// self-modifying code rewrites a page, every classification on that
+/// page is dropped and re-identified on next sight. Without this, a
+/// branch patched into a store would keep being classified
+/// "irrelevant" and its taint update silently lost.
 #[derive(Debug, Default)]
 pub struct HandlerCache {
-    seen: HashMap<u32, bool>,
+    seen: HashMap<(u32, bool), bool>,
+    /// Per guest page: the pinned `Memory` slot and the write
+    /// generation the page's classifications were recorded under.
+    pages: HashMap<u32, PageGen>,
     /// Cache hits.
     pub hits: u64,
     /// Cache misses.
     pub misses: u64,
+    /// Page-wise invalidations triggered by a stale write generation.
+    pub invalidations: u64,
+}
+
+#[derive(Debug)]
+struct PageGen {
+    /// The `Memory` slot backing the page, pinned on first resolution
+    /// (`None` while the guest page is still unmapped).
+    mem_slot: Option<u32>,
+    /// Write generation the classifications were made under.
+    version: u64,
+}
+
+impl PageGen {
+    #[inline]
+    fn live_version(&mut self, mem: &Memory, pageno: u32) -> u64 {
+        match self.mem_slot {
+            Some(slot) => mem.version_by_slot(slot),
+            None => {
+                self.mem_slot = mem.slot_of_page(pageno);
+                self.mem_slot.map_or(0, |slot| mem.version_by_slot(slot))
+            }
+        }
+    }
 }
 
 impl HandlerCache {
@@ -198,10 +253,29 @@ impl HandlerCache {
         HandlerCache::default()
     }
 
-    /// Looks up the cached classification for `pc`: `Some(relevant?)`
-    /// on a hit, `None` when the instruction must be identified.
-    pub fn lookup(&mut self, pc: u32) -> Option<bool> {
-        match self.seen.get(&pc) {
+    /// Drops every classification recorded for `pageno` (stale write
+    /// generation observed).
+    fn purge_page(&mut self, pageno: u32) {
+        self.seen.retain(|(p, _), _| p >> PAGE_SHIFT != pageno);
+    }
+
+    /// Looks up the cached classification for `(pc, thumb)`:
+    /// `Some(relevant?)` on a hit, `None` when the instruction must be
+    /// identified. A page whose write generation moved since its
+    /// entries were recorded is invalidated (and counted) here.
+    pub fn lookup(&mut self, mem: &Memory, pc: u32, thumb: bool) -> Option<bool> {
+        let pageno = pc >> PAGE_SHIFT;
+        if let Some(g) = self.pages.get_mut(&pageno) {
+            let live = g.live_version(mem, pageno);
+            if live != g.version {
+                g.version = live;
+                self.purge_page(pageno);
+                self.invalidations += 1;
+                self.misses += 1;
+                return None;
+            }
+        }
+        match self.seen.get(&(pc, thumb)) {
             Some(hit) => {
                 self.hits += 1;
                 Some(*hit)
@@ -213,9 +287,20 @@ impl HandlerCache {
         }
     }
 
-    /// Records the classification of the instruction at `pc`.
-    pub fn insert(&mut self, pc: u32, relevant: bool) {
-        self.seen.insert(pc, relevant);
+    /// Records the classification of the instruction at `(pc, thumb)`
+    /// under `mem`'s current write generation.
+    pub fn insert(&mut self, mem: &Memory, pc: u32, thumb: bool, relevant: bool) {
+        let pageno = pc >> PAGE_SHIFT;
+        let g = self.pages.entry(pageno).or_insert(PageGen {
+            mem_slot: None,
+            version: 0,
+        });
+        let live = g.live_version(mem, pageno);
+        if live != g.version {
+            g.version = live;
+            self.purge_page(pageno);
+        }
+        self.seen.insert((pc, thumb), relevant);
     }
 
     /// Whether the instruction affects taint propagation at all.
@@ -226,14 +311,14 @@ impl HandlerCache {
         )
     }
 
-    /// Whether the instruction at `pc` affects taint (cached) — the
-    /// combined lookup/insert convenience.
-    pub fn needs_taint_work(&mut self, pc: u32, instr: &Instr) -> bool {
-        match self.lookup(pc) {
+    /// Whether the instruction at `(pc, thumb)` affects taint (cached)
+    /// — the combined lookup/insert convenience.
+    pub fn needs_taint_work(&mut self, mem: &Memory, pc: u32, thumb: bool, instr: &Instr) -> bool {
+        match self.lookup(mem, pc, thumb) {
             Some(hit) => hit,
             None => {
                 let relevant = HandlerCache::classify(instr);
-                self.insert(pc, relevant);
+                self.insert(mem, pc, thumb, relevant);
                 relevant
             }
         }
@@ -516,6 +601,8 @@ mod tests {
 
     #[test]
     fn handler_cache_hits() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x100, 0);
         let mut cache = HandlerCache::new();
         let add = dp(DpOp::Add, Reg::R0, Reg::R1, Op2::reg(Reg::R2));
         let b = Instr::Branch {
@@ -523,10 +610,158 @@ mod tests {
             link: false,
             offset: 0,
         };
-        assert!(cache.needs_taint_work(0x100, &add));
-        assert!(!cache.needs_taint_work(0x104, &b));
-        assert!(cache.needs_taint_work(0x100, &add));
+        assert!(cache.needs_taint_work(&mem, 0x100, false, &add));
+        assert!(!cache.needs_taint_work(&mem, 0x104, false, &b));
+        assert!(cache.needs_taint_work(&mem, 0x100, false, &add));
         assert_eq!(cache.hits, 1);
         assert_eq!(cache.misses, 2);
+    }
+
+    #[test]
+    fn handler_cache_invalidates_on_page_write() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x8000, 0xEAFF_FFFE); // b .
+        let mut cache = HandlerCache::new();
+        cache.insert(&mem, 0x8000, false, false);
+        assert_eq!(cache.lookup(&mem, 0x8000, false), Some(false));
+        // Self-modifying code: any write on the page drops the stale
+        // classification.
+        mem.write_u32(0x8000, 0xE58D_0000); // str r0, [sp]
+        assert_eq!(cache.lookup(&mem, 0x8000, false), None, "stale entry dropped");
+        assert_eq!(cache.invalidations, 1);
+        // Re-recorded under the new generation, it sticks again.
+        cache.insert(&mem, 0x8000, false, true);
+        assert_eq!(cache.lookup(&mem, 0x8000, false), Some(true));
+    }
+
+    #[test]
+    fn handler_cache_keys_on_thumb_bit() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x8000, 0);
+        let mut cache = HandlerCache::new();
+        cache.insert(&mem, 0x8000, false, false);
+        assert_eq!(
+            cache.lookup(&mem, 0x8000, true),
+            None,
+            "ARM and Thumb classifications never alias"
+        );
+        cache.insert(&mem, 0x8000, true, true);
+        assert_eq!(cache.lookup(&mem, 0x8000, false), Some(false));
+        assert_eq!(cache.lookup(&mem, 0x8000, true), Some(true));
+    }
+
+    fn mem_instr(load: bool, pre: bool, writeback: bool, offset: MemOffset) -> Instr {
+        Instr::Mem {
+            cond: Cond::Al,
+            load,
+            size: MemSize::Word,
+            rd: Reg::R0,
+            rn: Reg::R1,
+            offset,
+            pre,
+            up: true,
+            writeback,
+        }
+    }
+
+    #[test]
+    fn writeback_register_offset_taints_base() {
+        // ldr r0, [r1, r2]!  with tainted r2: the written-back base
+        // r1 = r1 + r2 must carry t(r2).
+        let mut sh = ShadowState::new();
+        sh.regs[2] = Taint::IMEI;
+        let instr = mem_instr(
+            true,
+            true,
+            true,
+            MemOffset::Reg {
+                rm: Reg::R2,
+                kind: ShiftKind::Lsl,
+                amount: 0,
+            },
+        );
+        propagate(&mut sh, &eff(instr, Some(0x5000)));
+        assert_eq!(sh.regs[1], Taint::IMEI, "t(Rn) |= t(Rm) on writeback");
+        assert_eq!(sh.regs[0], Taint::IMEI, "load result carries address taint");
+    }
+
+    #[test]
+    fn post_indexed_store_taints_base() {
+        // str r0, [r1], r2  with tainted r2: post-indexed forms always
+        // write back, so t(r1) gains t(r2); memory taint is t(r0).
+        let mut sh = ShadowState::new();
+        sh.regs[0] = Taint::SMS;
+        sh.regs[2] = Taint::CONTACTS;
+        let instr = mem_instr(
+            false,
+            false,
+            false,
+            MemOffset::Reg {
+                rm: Reg::R2,
+                kind: ShiftKind::Lsl,
+                amount: 0,
+            },
+        );
+        propagate(&mut sh, &eff(instr, Some(0x6000)));
+        assert_eq!(sh.regs[1], Taint::CONTACTS, "post-indexed base gains offset taint");
+        assert_eq!(sh.mem.range_taint(0x6000, 4), Taint::SMS);
+    }
+
+    #[test]
+    fn writeback_imm_offset_leaves_base_alone() {
+        // ldr r0, [r1], #4 — constant offset, t(Rn) unchanged.
+        let mut sh = ShadowState::new();
+        sh.regs[1] = Taint::MIC;
+        let instr = mem_instr(true, false, false, MemOffset::Imm(4));
+        propagate(&mut sh, &eff(instr, Some(0x7000)));
+        assert_eq!(sh.regs[1], Taint::MIC, "immediate writeback adds nothing");
+        assert_eq!(sh.regs[0], Taint::MIC, "pointer rule still applies");
+    }
+
+    #[test]
+    fn writeback_load_into_base_keeps_loaded_taint() {
+        // ldr r1, [r1], r2: the executor writes Rn then Rd, so Rd wins
+        // — the final t(r1) is the loaded value's taint union the
+        // address taints, not just t(r2).
+        let mut sh = ShadowState::new();
+        sh.regs[2] = Taint::CONTACTS;
+        sh.mem.set_range(0x5000, 4, Taint::SMS);
+        let instr = Instr::Mem {
+            cond: Cond::Al,
+            load: true,
+            size: MemSize::Word,
+            rd: Reg::R1,
+            rn: Reg::R1,
+            offset: MemOffset::Reg {
+                rm: Reg::R2,
+                kind: ShiftKind::Lsl,
+                amount: 0,
+            },
+            pre: false,
+            up: true,
+            writeback: false,
+        };
+        propagate(&mut sh, &eff(instr, Some(0x5000)));
+        assert_eq!(sh.regs[1], Taint::SMS | Taint::CONTACTS);
+    }
+
+    #[test]
+    fn ldm_writeback_constant_offset_keeps_base_taint() {
+        // ldmia r1!, {r4, r5}: writeback is Rn + 8 — constant — so
+        // t(Rn) must be exactly what it was before.
+        let mut sh = ShadowState::new();
+        sh.regs[1] = Taint::IMEI;
+        sh.mem.set_range(0x8000, 8, Taint::SMS);
+        let ldm = Instr::MemMulti {
+            cond: Cond::Al,
+            load: true,
+            rn: Reg::R1,
+            mode: AddrMode4::Ia,
+            writeback: true,
+            regs: RegList::of(&[Reg::R4, Reg::R5]),
+        };
+        propagate(&mut sh, &eff(ldm, Some(0x8000)));
+        assert_eq!(sh.regs[1], Taint::IMEI, "constant writeback: t(Rn) unchanged");
+        assert_eq!(sh.regs[4], Taint::SMS | Taint::IMEI);
     }
 }

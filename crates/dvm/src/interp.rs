@@ -31,7 +31,7 @@ pub enum SinkContext {
 
 /// A sink invocation observed during execution. It is a *leak* when
 /// [`LeakEvent::taint`] is non-clear.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LeakEvent {
     /// Sink identifier, e.g. `"Socket.send"` or `"sendto"`.
     pub sink: String,

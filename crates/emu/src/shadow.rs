@@ -377,6 +377,27 @@ impl TaintMap {
     pub fn page_count(&self) -> usize {
         self.pages.len()
     }
+
+    /// Every `(address, taint)` pair with a non-clear taint, sorted by
+    /// address — the canonical form the differential oracle diffs
+    /// byte-for-byte against the reference map.
+    pub fn tainted_entries(&self) -> Vec<(u32, Taint)> {
+        let mut out = Vec::new();
+        for (pageno, slot) in &self.index {
+            let p = &self.pages[*slot as usize];
+            if p.live == 0 {
+                continue;
+            }
+            let base = pageno << PAGE_SHIFT;
+            for (off, t) in p.taints.iter().enumerate() {
+                if t.is_tainted() {
+                    out.push((base.wrapping_add(off as u32), *t));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(a, _)| *a);
+        out
+    }
 }
 
 /// The pre-paging sparse `HashMap<u32, Taint>` shadow memory, one
@@ -463,6 +484,37 @@ impl HashTaintMap {
     /// Number of tainted bytes.
     pub fn tainted_bytes(&self) -> usize {
         self.bytes.len()
+    }
+
+    /// Every `(address, taint)` pair with a non-clear taint, sorted by
+    /// address (see [`TaintMap::tainted_entries`]).
+    pub fn tainted_entries(&self) -> Vec<(u32, Taint)> {
+        let mut out: Vec<(u32, Taint)> = self.bytes.iter().map(|(a, t)| (*a, *t)).collect();
+        out.sort_unstable_by_key(|(a, _)| *a);
+        out
+    }
+}
+
+/// Shadow state for the **reference taint engine** of the differential
+/// oracle: the same register/VFP files as [`ShadowState`] but backed by
+/// the sparse [`HashTaintMap`] — no pages, no TLB, no summary words.
+/// Deliberately the simplest state that can hold Table V's facts, so
+/// a disagreement with the optimized pipeline indicts the fast paths,
+/// not the model.
+#[derive(Debug, Default, Clone)]
+pub struct RefShadowState {
+    /// Shadow core registers (`tR0`…`tR15`).
+    pub regs: [Taint; 16],
+    /// Shadow VFP registers (S0–S31).
+    pub vfp: [Taint; 32],
+    /// Byte-granular memory taint, sparse-HashMap backed.
+    pub mem: HashTaintMap,
+}
+
+impl RefShadowState {
+    /// A fresh, all-clear reference shadow state.
+    pub fn new() -> RefShadowState {
+        RefShadowState::default()
     }
 }
 

@@ -26,11 +26,22 @@ cargo build --workspace --release --offline
 echo "== cargo test --offline =="
 cargo test -q --workspace --offline
 
+echo "== differential taint oracle (pinned case count) =="
+# The testkit derives per-property seed streams deterministically from
+# the property name, so a fixed case count IS a pinned run: the same
+# >=200 generated ARM/Thumb programs (writeback, LDM/STM, SMC,
+# conditional execution) are checked against the reference engine
+# every time. (TESTKIT_SEED is for replaying a single failing case —
+# do not set it here, it would shrink the run to one case.)
+TESTKIT_CASES=256 cargo test -q --offline -p ndroid-core \
+  --test oracle_prop --test oracle_regression
+TESTKIT_CASES=256 cargo test -q --offline -p ndroid-apps --test oracle_gallery
+
 echo "== bench smoke pass (TESTKIT_BENCH_SMOKE=1) =="
 BENCH_DIR="$(mktemp -d)"
 TESTKIT_BENCH_SMOKE=1 TESTKIT_BENCH_DIR="$BENCH_DIR" \
   cargo bench -q --offline -p ndroid-bench
-for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json; do
+for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json BENCH_oracle.json; do
   if [ ! -s "$BENCH_DIR/$f" ]; then
     echo "error: bench smoke did not produce $f" >&2
     exit 1
