@@ -3,7 +3,7 @@
 
 use ndroid_arm::asm::{Assembler, CodeBlock, Label};
 use ndroid_arm::ArmError;
-use ndroid_core::{Mode, NDroidSystem};
+use ndroid_core::{Mode, NDroidSystem, SystemConfig};
 use ndroid_dvm::framework::install_framework;
 use ndroid_dvm::{ClassDef, ClassId, DvmError, MethodDef, MethodId, MethodKind, Program, Taint};
 use ndroid_emu::layout::NATIVE_CODE_BASE;
@@ -43,10 +43,16 @@ impl std::fmt::Debug for App {
 }
 
 impl App {
-    /// Boots a system in `mode`, consuming the app (app constructors
-    /// are cheap pure functions — build one per run).
+    /// Boots a system in `mode` with the default configuration,
+    /// consuming the app (app constructors are cheap pure functions —
+    /// build one per run).
     pub fn launch(self, mode: Mode) -> NDroidSystem {
-        let mut sys = NDroidSystem::new(self.program, mode);
+        self.launch_with(SystemConfig::new(mode))
+    }
+
+    /// Boots a system from a full [`SystemConfig`], consuming the app.
+    pub fn launch_with(self, config: SystemConfig) -> NDroidSystem {
+        let mut sys = NDroidSystem::from_config(self.program, config);
         if let Some(code) = &self.native {
             sys.load_native(code, &self.lib_name);
         }
@@ -63,13 +69,35 @@ impl App {
     ///
     /// Propagates interpreter/guest failures.
     pub fn run(self, mode: Mode) -> Result<NDroidSystem, DvmError> {
-        self.run_configured(mode, |_| {})
+        self.run_with(SystemConfig::new(mode))
+    }
+
+    /// Boots from `config` and runs the app's entry point, returning
+    /// the system for inspection (call
+    /// [`NDroidSystem::report`] on it for the run's [`ndroid_core::RunReport`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter/guest failures.
+    pub fn run_with(self, config: SystemConfig) -> Result<NDroidSystem, DvmError> {
+        let entry = self.entry.clone();
+        let native_entry = self.native_entry;
+        let mut sys = self.launch_with(config);
+        match native_entry {
+            Some(addr) => {
+                sys.run_native(addr, &[])
+                    .map_err(|e| DvmError::NativeFailure(e.to_string()))?;
+            }
+            None => {
+                sys.run_java(&entry.0, &entry.1, &[])?;
+            }
+        }
+        Ok(sys)
     }
 
     /// Like [`App::run`], but applies `configure` to the booted system
-    /// before the entry point runs — e.g.
-    /// [`NDroidSystem::use_reference_engine`] for differential-oracle
-    /// runs, or ablation knobs.
+    /// before the entry point runs — for knobs not yet expressible as
+    /// [`SystemConfig`] fields. Prefer [`App::run_with`].
     ///
     /// # Errors
     ///

@@ -16,7 +16,7 @@
 use crate::builder::{App, AppBuilder};
 use ndroid_arm::reg::RegList;
 use ndroid_arm::Reg;
-use ndroid_core::NDroidSystem;
+use ndroid_core::{NDroidSystem, RunReport};
 use ndroid_dvm::bytecode::{CmpOp, DexInsn};
 use ndroid_dvm::{ClassDef, FieldDef, InvokeKind, MethodDef, MethodKind};
 use ndroid_jni::dvm_addr;
@@ -49,13 +49,17 @@ impl MonkeyRng {
     }
 }
 
-/// The result of one random-driving session.
+/// The result of one random-driving session: what was invoked, plus
+/// the finished system's [`RunReport`] (the one result type — callers
+/// inspect it instead of poking at the system).
 #[derive(Debug)]
 pub struct DriveReport {
     /// Methods invoked, in order.
     pub invocations: Vec<String>,
     /// Entry-point invocations that failed (apps may throw).
     pub errors: usize,
+    /// The system's run report after the final invocation.
+    pub report: RunReport,
 }
 
 /// Randomly invokes `steps` of the app's exported entry points
@@ -80,6 +84,7 @@ pub fn drive(
     DriveReport {
         invocations,
         errors,
+        report: sys.report(),
     }
 }
 

@@ -1,0 +1,225 @@
+//! Front-end for the batch-analysis farm ([`ndroid_core::batch`]):
+//! packages the workloads this crate knows how to build — gallery
+//! apps, Table-I case apps, synthetic corpus samples, monkey-driver
+//! sessions — into [`AnalysisJob`]s.
+//!
+//! Jobs construct their `App` (and its `NDroidSystem`) *inside* the
+//! closure, on whatever worker thread picks them up; only the
+//! [`SystemConfig`] and a builder `fn` (or a [`FlowSpec`]) cross the
+//! thread boundary. That keeps `App` itself free of any `Send`
+//! obligation and guarantees per-worker system isolation.
+
+use crate::builder::App;
+use crate::driver::{drive, gated_leak_app, GATED_ENTRIES};
+use crate::synth::{build, FlowSpec, Hop, Sink, Source};
+use ndroid_core::batch::AnalysisJob;
+use ndroid_core::SystemConfig;
+use ndroid_corpus::{AppRecord, CorpusConfig, JniType};
+
+/// Wraps one app constructor as a job: build, run to completion under
+/// `config`, snapshot the [`ndroid_core::RunReport`].
+pub fn app_job(
+    label: impl Into<String>,
+    config: SystemConfig,
+    builder: fn() -> App,
+) -> AnalysisJob {
+    AnalysisJob::new(label, move || {
+        builder()
+            .run_with(config)
+            .map(|sys| sys.report())
+            .map_err(|e| e.to_string())
+    })
+}
+
+/// The three case-study gallery apps (QQPhoneBook, the Thumb spy, the
+/// crypto hider), as farm jobs.
+pub fn gallery_jobs(config: &SystemConfig) -> Vec<AnalysisJob> {
+    let apps: [(&str, fn() -> App); 3] = [
+        ("gallery/qq_phonebook", crate::qq_phonebook::qq_phonebook),
+        ("gallery/thumb_spy", crate::thumb_spy::thumb_spy),
+        ("gallery/crypto_hider", crate::crypto_hider::crypto_hider),
+    ];
+    apps.into_iter()
+        .map(|(label, f)| app_job(label, config.clone(), f))
+        .collect()
+}
+
+/// The Table-I information-flow case apps, as farm jobs.
+pub fn case_jobs(config: &SystemConfig) -> Vec<AnalysisJob> {
+    let apps: [(&str, fn() -> App); 6] = [
+        ("case/case1", crate::cases::case1),
+        ("case/case1'", crate::cases::case1_prime),
+        ("case/case1'-cb", crate::cases::case1_prime_callback),
+        ("case/case2", crate::cases::case2),
+        ("case/case3", crate::cases::case3),
+        ("case/case4", crate::cases::case4),
+    ];
+    apps.into_iter()
+        .map(|(label, f)| app_job(label, config.clone(), f))
+        .collect()
+}
+
+fn record_hash(record: &AppRecord) -> u64 {
+    // FNV-1a over the fields that survive corpus regeneration, so a
+    // record always maps to the same flow.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(&record.id.to_le_bytes());
+    for lib in &record.native_libs {
+        eat(lib.as_bytes());
+    }
+    for class in &record.native_decl_classes {
+        eat(class.as_bytes());
+    }
+    h
+}
+
+/// Deterministically maps a corpus [`AppRecord`] to the [`FlowSpec`]
+/// its synthetic stand-in app realizes. Pure function of the record,
+/// so the ground truth (`spec.leak`) is known without running anything.
+pub fn spec_for_record(record: &AppRecord) -> FlowSpec {
+    const SOURCES: [Source; 4] =
+        [Source::Imei, Source::Contact, Source::Sms, Source::Location];
+    const HOPS: [Hop; 5] =
+        [Hop::Strcpy, Hop::Memcpy, Hop::XorLoop, Hop::Sprintf, Hop::Strdup];
+    const SINKS: [Sink; 3] = [Sink::NativeSend, Sink::NativeFile, Sink::JavaSend];
+    let h = record_hash(record);
+    let n_hops = 1 + (h >> 2) as usize % 3;
+    let hops = (0..n_hops)
+        .map(|i| HOPS[(h >> (4 + 3 * i)) as usize % HOPS.len()])
+        .collect();
+    FlowSpec {
+        source: SOURCES[h as usize % SOURCES.len()],
+        hops,
+        sink: SINKS[(h >> 16) as usize % SINKS.len()],
+        leak: (h >> 24) % 4 != 0, // ~75% of samples actually leak
+    }
+}
+
+/// A scaled-down corpus whose §III proportions survive the shrink:
+/// half the apps are Type I, a quarter of those ship no library, one
+/// Type-III straggler. `seed` feeds the generator's PRNG.
+pub fn shard_corpus_config(n: usize, seed: u64) -> CorpusConfig {
+    let n = n.max(4) as u32;
+    CorpusConfig {
+        total: 4 * n,
+        type1: 2 * n,
+        type2: (n / 4).max(1),
+        type2_loadable: (n / 8).max(1),
+        type3: 1,
+        type1_without_libs: n / 2,
+        admob_fraction: 0.481,
+        seed,
+    }
+}
+
+/// Generates a pinned corpus shard and wraps its first `n` Type-I
+/// (library-shipping) samples as farm jobs: each record maps through
+/// [`spec_for_record`] to a synthetic JNI flow app with known ground
+/// truth, built and run on the worker.
+pub fn corpus_shard_jobs(config: &SystemConfig, n: usize, seed: u64) -> Vec<AnalysisJob> {
+    let records = ndroid_corpus::generate(&shard_corpus_config(n, seed));
+    records
+        .into_iter()
+        .filter(|r| r.jni_type() == JniType::TypeI && !r.native_libs.is_empty())
+        .take(n)
+        .map(|record| {
+            let spec = spec_for_record(&record);
+            let label = format!("corpus/app_{:05}", record.id);
+            let config = config.clone();
+            AnalysisJob::new(label, move || {
+                build(&spec)
+                    .run_with(config)
+                    .map(|sys| sys.report())
+                    .map_err(|e| e.to_string())
+            })
+        })
+        .collect()
+}
+
+/// Monkey-driver sessions over the gated-leak app: session `i` drives
+/// `steps` pseudo-random events from seed `base_seed + i`. A session
+/// whose invocations throw is reported as a failed job.
+pub fn monkey_jobs(
+    config: &SystemConfig,
+    sessions: usize,
+    steps: usize,
+    base_seed: u64,
+) -> Vec<AnalysisJob> {
+    (0..sessions)
+        .map(|i| {
+            let seed = base_seed + i as u64;
+            let config = config.clone();
+            AnalysisJob::new(format!("monkey/session_{i:03}"), move || {
+                let mut sys = gated_leak_app().launch_with(config);
+                let report = drive(&mut sys, "Lapp/Sync;", &GATED_ENTRIES, steps, seed);
+                if report.errors > 0 {
+                    return Err(format!("{} invocations failed", report.errors));
+                }
+                Ok(report.report)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndroid_core::batch::{run_batch, BatchConfig};
+    use ndroid_core::Mode;
+
+    #[test]
+    fn gallery_jobs_all_leak() {
+        let jobs = gallery_jobs(&SystemConfig::ndroid().quiet(true));
+        let report = run_batch(jobs, BatchConfig::new(2));
+        assert_eq!(report.completed(), 3);
+        assert_eq!(report.leaking(), 3, "{}", report.render());
+    }
+
+    #[test]
+    fn corpus_shard_matches_ground_truth() {
+        let cfg = SystemConfig::ndroid().quiet(true);
+        let n = 8;
+        let jobs = corpus_shard_jobs(&cfg, n, 0xD514);
+        assert_eq!(jobs.len(), n);
+
+        // Recompute the ground truth the same way the job list did.
+        let records = ndroid_corpus::generate(&shard_corpus_config(n, 0xD514));
+        let truth: Vec<bool> = records
+            .iter()
+            .filter(|r| r.jni_type() == JniType::TypeI && !r.native_libs.is_empty())
+            .take(n)
+            .map(|r| spec_for_record(r).leak)
+            .collect();
+
+        let report = run_batch(jobs, BatchConfig::new(2));
+        assert_eq!(report.completed(), n);
+        for (result, expect_leak) in report.results.iter().zip(truth) {
+            let run = result.outcome.report().unwrap();
+            assert_eq!(
+                run.leaked(),
+                expect_leak,
+                "{}: NDroid verdict disagrees with spec ground truth",
+                result.label
+            );
+        }
+    }
+
+    #[test]
+    fn monkey_sessions_complete() {
+        let jobs = monkey_jobs(&SystemConfig::ndroid().quiet(true), 3, 40, 7);
+        let report = run_batch(jobs, BatchConfig::new(2));
+        assert_eq!(report.completed(), 3);
+        assert_eq!(report.results[0].label, "monkey/session_000");
+        // Every completed session reports through the unified RunReport.
+        for r in &report.results {
+            let run = r.outcome.report().unwrap();
+            assert_eq!(run.mode, Mode::NDroid);
+        }
+    }
+}

@@ -21,6 +21,7 @@ pub mod builder;
 pub mod cases;
 pub mod crypto_hider;
 pub mod driver;
+pub mod farm;
 pub mod dyndex;
 pub mod ephone;
 pub mod poc_case2;

@@ -1,0 +1,74 @@
+//! Batch-farm determinism: for any job mix the merged [`BatchReport`]
+//! is identical — field-for-field and byte-for-byte in its rendering —
+//! whether the farm runs 1, 2, or 8 workers. Replay a failing mix with
+//! `TESTKIT_SEED`.
+
+use ndroid_apps::farm;
+use ndroid_core::batch::{run_batch, AnalysisJob, BatchConfig, JobOutcome};
+use ndroid_core::SystemConfig;
+use ndroid_testkit::prelude::*;
+
+/// One deterministic job mix: gallery apps, a corpus shard, and monkey
+/// sessions, all parameterized by the generated values.
+fn job_mix(shard: usize, shard_seed: u64, sessions: usize, steps: usize) -> Vec<AnalysisJob> {
+    let config = SystemConfig::ndroid().quiet(true);
+    let mut jobs = farm::gallery_jobs(&config);
+    jobs.extend(farm::corpus_shard_jobs(&config, shard, shard_seed));
+    jobs.extend(farm::monkey_jobs(&config, sessions, steps, shard_seed ^ 0x5EED));
+    jobs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn worker_count_never_changes_the_report(
+        shard in 4usize..10,
+        shard_seed in any::<u64>(),
+        sessions in 0usize..4,
+        steps in 1usize..30,
+    ) {
+        let one = run_batch(job_mix(shard, shard_seed, sessions, steps), BatchConfig::new(1));
+        let two = run_batch(job_mix(shard, shard_seed, sessions, steps), BatchConfig::new(2));
+        let eight = run_batch(job_mix(shard, shard_seed, sessions, steps), BatchConfig::new(8));
+        prop_assert_eq!(&one, &two);
+        prop_assert_eq!(&one, &eight);
+        prop_assert_eq!(one.render(), eight.render());
+        prop_assert_eq!(one.results.len(), 3 + shard + sessions);
+    }
+}
+
+/// Crashing and failing jobs merge deterministically too — panic
+/// payloads and error strings land in the same slots for any worker
+/// count. Kept out of the property loop so the intentional panics
+/// don't multiply across cases.
+#[test]
+fn crashes_and_failures_merge_deterministically() {
+    let mix = || {
+        let config = SystemConfig::ndroid().quiet(true);
+        let mut jobs = farm::gallery_jobs(&config);
+        jobs.insert(
+            1,
+            AnalysisJob::new("synthetic/crash", || panic!("deterministic boom")),
+        );
+        jobs.push(AnalysisJob::new("synthetic/fail", || {
+            Err("deterministic failure".to_string())
+        }));
+        jobs
+    };
+    let one = run_batch(mix(), BatchConfig::new(1));
+    let eight = run_batch(mix(), BatchConfig::new(8));
+    assert_eq!(one, eight);
+    assert_eq!(one.render(), eight.render());
+    assert_eq!(one.crashed(), 1);
+    assert_eq!(one.failed(), 1);
+    assert_eq!(one.completed(), 3);
+    assert!(matches!(
+        &one.results[1].outcome,
+        JobOutcome::Crashed(m) if m == "deterministic boom"
+    ));
+    assert!(matches!(
+        &one.results[4].outcome,
+        JobOutcome::Failed(m) if m == "deterministic failure"
+    ));
+}

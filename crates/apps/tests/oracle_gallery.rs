@@ -1,10 +1,10 @@
 //! Gallery-level differential oracle: each gallery app runs twice —
-//! once under the optimized NDroid analysis (handler cache + decoded-
+//! once under the optimized NDroid engine (handler cache + decoded-
 //! instruction cache) and once with the reference engine substituted
-//! ([`NDroidSystem::use_reference_engine`]: straight-line `ref_propagate`,
-//! no caches) — and the externally observable reports must match
-//! exactly: leak events (sink, destination, payload, taint label,
-//! context), the kernel's network log, and protection violations.
+//! (`SystemConfig::reference()`: straight-line `ref_propagate`, no
+//! caches) — and the externally observable [`RunReport`]s must match:
+//! leak events (sink, destination, payload, taint label, context), the
+//! kernel's network log, protection violations, and work counters.
 //!
 //! This closes the gap the pure-native property suite cannot cover:
 //! JNI marshalling, source policies, host-modeled libc functions and
@@ -12,59 +12,54 @@
 //! bug anywhere on those paths shows up as a report diff here.
 
 use ndroid_apps::{crypto_hider, qq_phonebook, thumb_spy, App};
-use ndroid_core::{Mode, NDroidSystem};
-use ndroid_dvm::{LeakEvent, Taint};
+use ndroid_core::{EngineKind, RunReport, SystemConfig};
+use ndroid_dvm::Taint;
 
-fn run_optimized(build: fn() -> App) -> NDroidSystem {
-    build().run(Mode::NDroid).expect("optimized run")
-}
-
-fn run_reference(build: fn() -> App) -> NDroidSystem {
+fn run_engine(build: fn() -> App, engine: EngineKind) -> RunReport {
     build()
-        .run_configured(Mode::NDroid, NDroidSystem::use_reference_engine)
-        .expect("reference run")
+        .run_with(SystemConfig::ndroid().engine(engine))
+        .expect("engine run")
+        .report()
 }
 
-fn assert_reports_match(build: fn() -> App, name: &str) {
-    let mut opt = run_optimized(build);
-    let reference = run_reference(build);
-    assert!(
-        reference.reference_analysis().is_some(),
+/// Runs both engines, asserts their reports agree on everything
+/// externally observable, and returns the reference-engine report for
+/// pinned-leak checks.
+fn assert_reports_match(build: fn() -> App, name: &str) -> RunReport {
+    let opt = run_engine(build, EngineKind::Optimized);
+    let reference = run_engine(build, EngineKind::Reference);
+    assert_eq!(opt.engine, EngineKind::Optimized);
+    assert_eq!(
+        reference.engine,
+        EngineKind::Reference,
         "{name}: reference engine must actually be installed"
     );
 
-    let opt_events: Vec<LeakEvent> = opt.all_sink_events().into_iter().cloned().collect();
-    let ref_events: Vec<LeakEvent> = reference.all_sink_events().into_iter().cloned().collect();
     assert_eq!(
-        opt_events, ref_events,
+        opt.sink_events, reference.sink_events,
         "{name}: sink-event reports diverge between engines"
     );
-
     assert_eq!(
-        opt.kernel.network_log, reference.kernel.network_log,
+        opt.network_log, reference.network_log,
         "{name}: network logs diverge between engines"
     );
-
-    let opt_violations = opt
-        .ndroid_analysis_mut()
-        .map(|a| a.violations.clone())
-        .unwrap_or_default();
-    let ref_violations = reference
-        .reference_analysis()
-        .map(|a| a.violations().to_vec())
-        .unwrap_or_default();
     assert_eq!(
-        opt_violations, ref_violations,
+        opt.violations, reference.violations,
         "{name}: protection violations diverge between engines"
     );
+    assert_eq!(
+        (opt.native_insns, opt.bytecodes),
+        (reference.native_insns, reference.bytecodes),
+        "{name}: engines executed different instruction counts"
+    );
+    reference
 }
 
 #[test]
 fn qq_phonebook_reports_match_reference() {
-    assert_reports_match(qq_phonebook::qq_phonebook, "qq_phonebook");
     // And the pinned leak survives under the reference engine too.
-    let sys = run_reference(qq_phonebook::qq_phonebook);
-    let leaks = sys.leaks();
+    let report = assert_reports_match(qq_phonebook::qq_phonebook, "qq_phonebook");
+    let leaks = report.leaks();
     assert_eq!(leaks.len(), 1);
     assert_eq!(leaks[0].sink, "HttpClient.post");
     assert_eq!(leaks[0].dest, "sync.3g.qq.com");
@@ -73,9 +68,8 @@ fn qq_phonebook_reports_match_reference() {
 
 #[test]
 fn thumb_spy_reports_match_reference() {
-    assert_reports_match(thumb_spy::thumb_spy, "thumb_spy");
-    let sys = run_reference(thumb_spy::thumb_spy);
-    let leaks = sys.leaks();
+    let report = assert_reports_match(thumb_spy::thumb_spy, "thumb_spy");
+    let leaks = report.leaks();
     assert_eq!(leaks.len(), 1);
     assert_eq!(leaks[0].data, "Vincent");
     assert_eq!(leaks[0].taint, Taint::CONTACTS);
@@ -83,9 +77,8 @@ fn thumb_spy_reports_match_reference() {
 
 #[test]
 fn crypto_hider_reports_match_reference() {
-    assert_reports_match(crypto_hider::crypto_hider, "crypto_hider");
-    let sys = run_reference(crypto_hider::crypto_hider);
-    let leaks = sys.leaks();
+    let report = assert_reports_match(crypto_hider::crypto_hider, "crypto_hider");
+    let leaks = report.leaks();
     assert_eq!(leaks.len(), 1);
     assert_eq!(leaks[0].taint, Taint::CONTACTS);
 }

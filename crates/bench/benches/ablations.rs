@@ -12,7 +12,7 @@
 
 use ndroid_arm::reg::RegList;
 use ndroid_arm::{Assembler, Cond, Reg};
-use ndroid_core::{Mode, NDroidAnalysis};
+use ndroid_core::NDroidAnalysis;
 use ndroid_dvm::framework::install_framework;
 use ndroid_dvm::{Program, Taint};
 use ndroid_emu::layout::NATIVE_CODE_BASE;
@@ -59,7 +59,10 @@ fn traced_memcpy_app() -> ndroid_core::NDroidSystem {
 fn build_sys(asm: Assembler) -> ndroid_core::NDroidSystem {
     let mut program = Program::new();
     install_framework(&mut program);
-    let mut sys = ndroid_core::NDroidSystem::new(program, Mode::NDroid).quiet();
+    let mut sys = ndroid_core::NDroidSystem::from_config(
+        program,
+        ndroid_core::SystemConfig::ndroid().quiet(true),
+    );
     let code = asm.assemble().unwrap();
     sys.load_native(&code, "libablate.so");
     sys.shadow.mem.set_range(SRC, LEN, Taint::SMS);

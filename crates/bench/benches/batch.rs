@@ -1,0 +1,72 @@
+//! Batch-farm throughput: the canonical job list (gallery apps + a
+//! corpus shard) run sequentially and at 2/4/8 workers. Writes
+//! `BENCH_batch.json`; `TESTKIT_BENCH_SMOKE=1` runs a minimal pass.
+//!
+//! Interpreting the numbers: one farm worker runs the whole list on a
+//! single spawned thread, so `workers_1` vs `workers_N` isolates the
+//! farm's scaling (queue sharding, stealing, merge) from its fixed
+//! overhead. On a multi-core host `workers_4` should approach a 4x
+//! speedup; on a single-core host (such as a CI container pinned to
+//! one CPU) all variants are necessarily within noise of each other —
+//! the recorded artifact is honest about the hardware it ran on.
+
+use ndroid_apps::farm;
+use ndroid_core::batch::{run_batch, AnalysisJob, BatchConfig};
+use ndroid_core::SystemConfig;
+use ndroid_testkit::bench::{black_box, Suite};
+
+/// Shard size for the bench job list — smaller than the CI gate's 32
+/// so a full sample set stays fast on one core.
+const SHARD_SIZE: usize = 8;
+const SHARD_SEED: u64 = 0xD514;
+
+fn jobs() -> Vec<AnalysisJob> {
+    let config = SystemConfig::ndroid().quiet(true);
+    let mut jobs = farm::gallery_jobs(&config);
+    jobs.extend(farm::corpus_shard_jobs(&config, SHARD_SIZE, SHARD_SEED));
+    jobs
+}
+
+fn main() {
+    let mut suite = Suite::new("batch");
+    let n_jobs = jobs().len();
+    for workers in [1usize, 2, 4, 8] {
+        suite.bench(&format!("farm/{n_jobs}_jobs/workers_{workers}"), || {
+            let report = run_batch(jobs(), BatchConfig::new(workers));
+            assert_eq!(report.completed(), n_jobs);
+            black_box(report);
+        });
+    }
+    // The per-job baseline with no farm at all: build and run the same
+    // systems inline on the bench thread, so the farm's fixed overhead
+    // (thread spawn, queue, channel, merge) is measurable.
+    let shard = ndroid_corpus::generate(&farm::shard_corpus_config(SHARD_SIZE, SHARD_SEED));
+    let specs: Vec<_> = shard
+        .iter()
+        .filter(|r| {
+            r.jni_type() == ndroid_corpus::JniType::TypeI && !r.native_libs.is_empty()
+        })
+        .take(SHARD_SIZE)
+        .map(farm::spec_for_record)
+        .collect();
+    suite.bench(&format!("inline/{n_jobs}_jobs"), || {
+        let config = SystemConfig::ndroid().quiet(true);
+        let apps: [fn() -> ndroid_apps::App; 3] = [
+            ndroid_apps::qq_phonebook::qq_phonebook,
+            ndroid_apps::thumb_spy::thumb_spy,
+            ndroid_apps::crypto_hider::crypto_hider,
+        ];
+        for build_app in apps {
+            black_box(build_app().run_with(config.clone()).unwrap().report());
+        }
+        for spec in &specs {
+            black_box(
+                ndroid_apps::synth::build(spec)
+                    .run_with(config.clone())
+                    .unwrap()
+                    .report(),
+            );
+        }
+    });
+    suite.finish();
+}

@@ -4,7 +4,7 @@
 //! into the sparse map — on a recorded effect stream, (b) a full
 //! dual-run `check_oracle` on a representative generated program, and
 //! (c) a gallery app end-to-end under the optimized engine vs the
-//! reference engine (`NDroidSystem::use_reference_engine`). Writes
+//! reference engine (`SystemConfig::reference()`). Writes
 //! `BENCH_oracle.json`; `TESTKIT_BENCH_SMOKE=1` runs a minimal pass
 //! for CI.
 
@@ -17,7 +17,7 @@ use ndroid_arm::{Cpu, Memory};
 use ndroid_apps::{qq_phonebook, App};
 use ndroid_core::oracle::{check_oracle, ref_propagate, OracleProgram};
 use ndroid_core::tracer::propagate;
-use ndroid_core::{Mode, NDroidSystem};
+use ndroid_core::{EngineKind, SystemConfig};
 use ndroid_dvm::Taint;
 use ndroid_emu::layout::{NATIVE_CODE_BASE, NATIVE_HEAP_BASE, RETURN_SENTINEL};
 use ndroid_emu::shadow::{RefShadowState, ShadowState};
@@ -148,17 +148,13 @@ fn dual_run_bench(suite: &mut Suite) {
 
 /// End-to-end gallery app: optimized engine vs reference engine.
 fn gallery_ab_benches(suite: &mut Suite) {
-    let configs: [(&str, fn(&mut NDroidSystem)); 2] = [
-        ("optimized", |_| {}),
-        ("reference", NDroidSystem::use_reference_engine),
-    ];
-    for (variant, configure) in configs {
-        suite.bench(&format!("gallery/qq_phonebook/{variant}"), || {
+    for engine in [EngineKind::Optimized, EngineKind::Reference] {
+        suite.bench(&format!("gallery/qq_phonebook/{engine}"), || {
             let app: App = qq_phonebook::qq_phonebook();
             let sys = app
-                .run_configured(Mode::NDroid, configure)
+                .run_with(SystemConfig::ndroid().engine(engine))
                 .expect("app run");
-            black_box(sys.leaks().len());
+            black_box(sys.report().leaks().len());
         });
     }
 }

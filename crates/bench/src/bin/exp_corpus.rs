@@ -1,12 +1,31 @@
-//! Experiment: §III market study + Fig. 2 category distribution.
+//! Experiment: §III market study + Fig. 2 category distribution —
+//! then actually *analyzing* a corpus shard through the batch farm.
 //!
 //! Regenerates every published number from the raw (synthetic,
 //! calibrated) corpus: 227,911 apps; 37,506 Type I (16.46%); 1,738
 //! Type II (394 loadable); 16 Type III; 4,034 lib-less Type I apps
 //! with 48.1% AdMob usage; the Game-dominated category distribution;
-//! and the library popularity ranking.
+//! and the library popularity ranking. Then runs a pinned 32-sample
+//! Type-I shard through NDroid on the farm (`--workers N`, default 1)
+//! and scores the verdicts against each sample's known ground truth.
 
-use ndroid_corpus::{classify, generate, CorpusConfig};
+use ndroid_apps::farm;
+use ndroid_core::batch::{run_batch, BatchConfig};
+use ndroid_core::SystemConfig;
+use ndroid_corpus::{classify, generate, CorpusConfig, JniType};
+
+/// The pinned shard every run of this experiment analyzes.
+const SHARD_SIZE: usize = 32;
+const SHARD_SEED: u64 = 0xD514;
+
+fn workers_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
 
 fn main() {
     let config = CorpusConfig::default();
@@ -53,4 +72,38 @@ fn main() {
         "  {:<22} paper {:>6.1}%   measured {:>6.1}%   (Fig. 2)",
         "Game category", 42.0, game_pct
     );
+
+    // Dynamic analysis of a pinned shard, through the batch farm.
+    let workers = workers_arg();
+    println!(
+        "\n== farm: analyzing a {SHARD_SIZE}-sample Type-I shard \
+         (seed {SHARD_SEED:#x}, {workers} worker(s)) =="
+    );
+    let sys_config = SystemConfig::ndroid().quiet(true);
+    let jobs = farm::corpus_shard_jobs(&sys_config, SHARD_SIZE, SHARD_SEED);
+    let batch = run_batch(jobs, BatchConfig::new(workers));
+    print!("{}", batch.render());
+
+    // Score against each sample's known ground truth.
+    let shard = generate(&farm::shard_corpus_config(SHARD_SIZE, SHARD_SEED));
+    let truth: Vec<bool> = shard
+        .iter()
+        .filter(|r| r.jni_type() == JniType::TypeI && !r.native_libs.is_empty())
+        .take(SHARD_SIZE)
+        .map(|r| farm::spec_for_record(r).leak)
+        .collect();
+    let mut agree = 0usize;
+    for (result, expect_leak) in batch.results.iter().zip(&truth) {
+        if result.outcome.report().map(|r| r.leaked()) == Some(*expect_leak) {
+            agree += 1;
+        }
+    }
+    println!(
+        "\nground-truth agreement: {agree}/{} samples \
+         (leak specs detected, decoy specs clean)",
+        truth.len()
+    );
+    if agree != truth.len() {
+        std::process::exit(1);
+    }
 }

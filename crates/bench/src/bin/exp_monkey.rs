@@ -6,13 +6,30 @@
 //! and §VII concedes "simple tools like monkeyrunner cannot enumerate
 //! all possible paths in an app and thus NDroid may miss information
 //! leakage."
+//!
+//! The random-driving trials run as batch-farm jobs (`--workers N`,
+//! default 1): one monkey session per seed, all reporting through the
+//! unified `RunReport`.
 
-use ndroid_apps::driver::{drive, gated_leak_app, GATED_ENTRIES};
+use ndroid_apps::driver::drive;
+use ndroid_apps::farm;
 use ndroid_apps::qq_phonebook::qq_phonebook;
-use ndroid_core::Mode;
+use ndroid_core::batch::{run_batch, BatchConfig};
+use ndroid_core::{Mode, SystemConfig};
+
+fn workers_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
 
 fn main() {
-    println!("== §VI / §VII — input generation and path coverage ==\n");
+    let workers = workers_arg();
+    println!("== §VI / §VII — input generation and path coverage ==");
+    println!("(farm: {workers} worker(s))\n");
 
     // QQPhoneBook: its leak sits on the main login path, so even random
     // driving that happens to call login() finds it.
@@ -22,21 +39,18 @@ fn main() {
     println!(
         "QQPhoneBook under random driving ({} events): {} leak(s) found",
         report.invocations.len(),
-        sys.leaks().len()
+        report.report.leaks().len()
     );
 
-    // The gated app: the leak needs enableSync before doSync.
+    // The gated app: the leak needs enableSync before doSync. Each
+    // trial is one farm job.
     println!("\ngated-sync app (leak requires a 2-step sequence):");
+    let config = SystemConfig::ndroid().quiet(true);
     for steps in [1usize, 2, 5, 20, 100] {
-        let mut found = 0;
         let trials = 50;
-        for seed in 0..trials {
-            let mut sys = gated_leak_app().launch(Mode::NDroid).quiet();
-            drive(&mut sys, "Lapp/Sync;", &GATED_ENTRIES, steps, 1 + seed);
-            if !sys.leaks().is_empty() {
-                found += 1;
-            }
-        }
+        let jobs = farm::monkey_jobs(&config, trials, steps, 1);
+        let batch = run_batch(jobs, BatchConfig::new(workers));
+        let found = batch.leaking();
         println!(
             "  {steps:>3} random events: leak found in {found:>2}/{trials} trials ({:>3.0}%)",
             100.0 * found as f64 / trials as f64
@@ -44,16 +58,20 @@ fn main() {
     }
 
     // Manual (directed) input always finds it.
-    let mut sys = gated_leak_app().launch(Mode::NDroid);
+    let mut sys = farm_directed();
     sys.run_java("Lapp/Sync;", "enableSync", &[]).unwrap();
     sys.run_java("Lapp/Sync;", "doSync", &[]).unwrap();
     println!(
         "\nmanual driving (enableSync; doSync): {} leak(s) — the §VI manual phase",
-        sys.leaks().len()
+        sys.report().leaks().len()
     );
     println!(
         "\nconclusion (matches §VII): random input under-covers multi-step\n\
          paths; detection quality is bounded by the input generator, not\n\
          by the taint tracker."
     );
+}
+
+fn farm_directed() -> ndroid_core::NDroidSystem {
+    ndroid_apps::driver::gated_leak_app().launch(Mode::NDroid)
 }

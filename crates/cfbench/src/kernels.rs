@@ -2,7 +2,7 @@
 
 use ndroid_arm::reg::RegList;
 use ndroid_arm::{Assembler, Cond, Reg};
-use ndroid_core::{Mode, NDroidSystem};
+use ndroid_core::{Mode, NDroidSystem, SystemConfig};
 use ndroid_dvm::bytecode::{BinOp, CmpOp, DexInsn};
 use ndroid_dvm::framework::install_framework;
 use ndroid_dvm::{ArrayKind, ClassDef, MethodDef, MethodKind, Program};
@@ -40,7 +40,8 @@ impl Kernel {
         let mut program = Program::new();
         install_framework(&mut program);
         install_java_kernels(&mut program);
-        let mut sys = NDroidSystem::new(program, mode).quiet();
+        let mut sys =
+            NDroidSystem::from_config(program, SystemConfig::new(mode).quiet(true));
         let code = native_kernel_code();
         sys.load_native(&code, "libcfbench.so");
         sys.mem.write_cstr(PATH_STR, b"/data/bench.bin");

@@ -2,6 +2,7 @@
 //! emulator — DVM hook engine callbacks, the instruction tracer, and
 //! the multilevel-hooking bookkeeping.
 
+use crate::config::SourcePolicyOverride;
 use crate::source_policy::{SourcePolicy, SourcePolicyMap};
 use crate::tracer::{propagate, HandlerCache};
 use ndroid_arm::exec::Effect;
@@ -17,7 +18,7 @@ use ndroid_jni::{dvm_addr, jni_names};
 use std::collections::HashMap;
 
 /// Aggregate statistics of one analysis run.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct AnalysisStats {
     /// Guest instructions observed by the tracer.
     pub insns_traced: u64,
@@ -84,6 +85,9 @@ pub struct NDroidAnalysis {
     /// Whether the §VII taint-protection extension is active: native
     /// stores into VM-private regions are recorded as violations.
     pub protect_taints: bool,
+    /// Overrides the §V-B source-policy installation rule (set from
+    /// [`crate::SystemConfig::source_policies`]).
+    pub policy_override: SourcePolicyOverride,
     /// Violations recorded by the taint protector.
     pub violations: Vec<ProtectionViolation>,
     chain_specs: HashMap<u32, Vec<u32>>,
@@ -176,6 +180,7 @@ impl NDroidAnalysis {
             use_cache: true,
             gate_hooks: true,
             protect_taints: true,
+            policy_override: SourcePolicyOverride::AsPaper,
             violations: Vec::new(),
             chain_specs,
             inner_addrs,
@@ -332,7 +337,16 @@ impl Analysis for NDroidAnalysis {
         // SourcePolicy handler initializes them.
         shadow.clear_regs();
         let policy = SourcePolicy::from_call(entry, &shorty, access, args, taints, &kinds);
-        if policy.any_tainted() {
+        let tainted = policy.any_tainted();
+        let install = match self.policy_override {
+            SourcePolicyOverride::AsPaper => tainted,
+            SourcePolicyOverride::Always => true,
+            SourcePolicyOverride::Never => false,
+        };
+        if !install {
+            return;
+        }
+        if tainted {
             self.stats.source_policies += 1;
             trace.push(
                 "source-policy",
@@ -347,8 +361,8 @@ impl Analysis for NDroidAnalysis {
                 trace.push("source-policy", format!("t({:x}) := {}", r.0, t.0));
             }
             policy.apply(shadow, stack_args_base);
-            self.policies.insert(policy);
         }
+        self.policies.insert(policy);
     }
 
     fn on_jni_return(

@@ -1,0 +1,347 @@
+//! The batch-analysis farm: shards a work list of analysis jobs across
+//! `std::thread` workers and merges their results deterministically.
+//!
+//! The paper evaluates NDroid one app at a time inside a single QEMU
+//! instance; the farm is what scales the reproduction to corpora. The
+//! design constraints, in order:
+//!
+//! 1. **Determinism.** A [`BatchReport`] is byte-identical for the same
+//!    job list regardless of worker count or scheduling order. Results
+//!    are merged in submission order, and the report carries no worker
+//!    count, timing, or other schedule-dependent data.
+//! 2. **Panic isolation.** A job that panics is recorded as
+//!    [`JobOutcome::Crashed`] and its worker keeps draining the queue —
+//!    one bad sample never loses a shard of the corpus.
+//! 3. **No shared mutable analysis state.** Each job constructs its own
+//!    [`crate::NDroidSystem`] inside its closure; workers share only
+//!    the job queue.
+//!
+//! Jobs are `FnOnce` closures returning `Result<RunReport, String>`, so
+//! the farm never needs the app types themselves to be `Send` — the
+//! closure builds everything on the worker thread. The thin front-end
+//! in `ndroid-apps` (`farm` module) packages gallery apps, corpus
+//! samples, and monkey-driver runs into jobs.
+//!
+//! The queue is sharded: one `Mutex<VecDeque>` per worker, jobs dealt
+//! round-robin at submission, and an idle worker steals from the other
+//! shards before parking. With deterministic merge this is purely a
+//! contention optimization — stealing changes who runs a job, never
+//! where its result lands.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use crate::report::RunReport;
+
+/// One unit of work for the farm: a label (stable across runs, used as
+/// the merge key's human-readable face) plus the closure that builds a
+/// system, runs it, and snapshots its [`RunReport`].
+pub struct AnalysisJob {
+    /// Stable human-readable identifier, e.g. `"gallery/qq_phonebook"`
+    /// or `"corpus/sample_017"`.
+    pub label: String,
+    run: Box<dyn FnOnce() -> Result<RunReport, String> + Send + 'static>,
+}
+
+impl AnalysisJob {
+    /// Wraps a closure as a job.
+    pub fn new(
+        label: impl Into<String>,
+        run: impl FnOnce() -> Result<RunReport, String> + Send + 'static,
+    ) -> AnalysisJob {
+        AnalysisJob { label: label.into(), run: Box::new(run) }
+    }
+}
+
+impl std::fmt::Debug for AnalysisJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisJob").field("label", &self.label).finish_non_exhaustive()
+    }
+}
+
+/// What happened to one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The job ran to completion.
+    Completed(RunReport),
+    /// The job returned an error (e.g. a budget exhaustion the closure
+    /// chose to surface).
+    Failed(String),
+    /// The job panicked; the payload's message, if it was a string.
+    /// The worker survived and kept draining the queue.
+    Crashed(String),
+}
+
+impl JobOutcome {
+    /// The report, if the job completed.
+    pub fn report(&self) -> Option<&RunReport> {
+        match self {
+            JobOutcome::Completed(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// One merged row of a [`BatchReport`]: the job's label and outcome,
+/// in submission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResult {
+    /// The job's label as submitted.
+    pub label: String,
+    /// What happened.
+    pub outcome: JobOutcome,
+}
+
+/// Farm tuning. Only `workers` exists today; a struct so that future
+/// knobs (queue depth, steal policy) don't churn the signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Number of worker threads. `1` runs the whole list on one
+    /// spawned worker; `0` is clamped to `1`.
+    pub workers: usize,
+}
+
+impl BatchConfig {
+    /// A farm with `workers` threads.
+    pub fn new(workers: usize) -> BatchConfig {
+        BatchConfig { workers: workers.max(1) }
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig::new(1)
+    }
+}
+
+/// The deterministic merge of a batch run: one [`JobResult`] per
+/// submitted job, in submission order. Deliberately carries no worker
+/// count, schedule, or timing — `BatchReport`s from 1-worker and
+/// N-worker runs of the same job list compare equal (and render to
+/// byte-identical text).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchReport {
+    /// Per-job results in submission order.
+    pub results: Vec<JobResult>,
+}
+
+impl BatchReport {
+    /// Jobs that completed.
+    pub fn completed(&self) -> usize {
+        self.results.iter().filter(|r| matches!(r.outcome, JobOutcome::Completed(_))).count()
+    }
+
+    /// Jobs that returned an error.
+    pub fn failed(&self) -> usize {
+        self.results.iter().filter(|r| matches!(r.outcome, JobOutcome::Failed(_))).count()
+    }
+
+    /// Jobs that panicked.
+    pub fn crashed(&self) -> usize {
+        self.results.iter().filter(|r| matches!(r.outcome, JobOutcome::Crashed(_))).count()
+    }
+
+    /// Completed jobs whose report detected at least one leak.
+    pub fn leaking(&self) -> usize {
+        self.results
+            .iter()
+            .filter_map(|r| r.outcome.report())
+            .filter(|rep| rep.leaked())
+            .count()
+    }
+
+    /// Renders one line per job plus a summary footer. Schedule-free by
+    /// construction, so this string is the byte-identity witness used
+    /// by the determinism tests and the CI golden check.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            match &r.outcome {
+                JobOutcome::Completed(rep) => {
+                    let leaks = rep.leaks();
+                    let status = if leaks.is_empty() { "clean" } else { "LEAK" };
+                    out.push_str(&format!(
+                        "{:<32} {:<9} {:<10} {status:<6} leaks={} sinks={} violations={} insns={}\n",
+                        r.label,
+                        rep.mode.to_string(),
+                        rep.engine.to_string(),
+                        leaks.len(),
+                        rep.sink_events.len(),
+                        rep.violations.len(),
+                        rep.native_insns,
+                    ));
+                }
+                JobOutcome::Failed(e) => {
+                    out.push_str(&format!("{:<32} FAILED {e}\n", r.label));
+                }
+                JobOutcome::Crashed(msg) => {
+                    out.push_str(&format!("{:<32} CRASHED {msg}\n", r.label));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "total={} completed={} failed={} crashed={} leaking={}\n",
+            self.results.len(),
+            self.completed(),
+            self.failed(),
+            self.crashed(),
+            self.leaking(),
+        ));
+        out
+    }
+}
+
+/// One shard of the sharded job queue: jobs tagged with their
+/// submission index so the merge can restore order.
+type Shard = Mutex<VecDeque<(usize, AnalysisJob)>>;
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs every job and merges the outcomes into a [`BatchReport`].
+///
+/// Jobs are dealt round-robin onto per-worker queue shards; each worker
+/// drains its own shard first, then steals from the others (scanning
+/// from its neighbor onward) until every shard is empty. Each job runs
+/// under `catch_unwind`, so a panicking job becomes
+/// [`JobOutcome::Crashed`] and the worker lives on. Results flow back
+/// over a channel tagged with submission index and are merged in that
+/// order — the report is independent of worker count and scheduling.
+pub fn run_batch(jobs: Vec<AnalysisJob>, config: BatchConfig) -> BatchReport {
+    let total = jobs.len();
+    let workers = config.workers.max(1).min(total.max(1));
+
+    let shards: Arc<Vec<Shard>> = Arc::new(
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+    );
+    for (idx, job) in jobs.into_iter().enumerate() {
+        shards[idx % workers].lock().unwrap().push_back((idx, job));
+    }
+
+    let (tx, rx) = mpsc::channel::<(usize, String, JobOutcome)>();
+    let mut handles = Vec::with_capacity(workers);
+    for me in 0..workers {
+        let shards = Arc::clone(&shards);
+        let tx = tx.clone();
+        handles.push(thread::spawn(move || {
+            loop {
+                // Own shard first, then steal from neighbors.
+                let mut next = None;
+                for off in 0..workers {
+                    let shard = &shards[(me + off) % workers];
+                    if let Some(item) = shard.lock().unwrap().pop_front() {
+                        next = Some(item);
+                        break;
+                    }
+                }
+                let Some((idx, job)) = next else { break };
+                let label = job.label;
+                let run = job.run;
+                let outcome = match catch_unwind(AssertUnwindSafe(run)) {
+                    Ok(Ok(report)) => JobOutcome::Completed(report),
+                    Ok(Err(e)) => JobOutcome::Failed(e),
+                    Err(payload) => JobOutcome::Crashed(panic_message(payload)),
+                };
+                if tx.send((idx, label, outcome)).is_err() {
+                    break;
+                }
+            }
+        }));
+    }
+    drop(tx);
+
+    let mut slots: Vec<Option<JobResult>> = (0..total).map(|_| None).collect();
+    for (idx, label, outcome) in rx {
+        slots[idx] = Some(JobResult { label, outcome });
+    }
+    for h in handles {
+        // Workers catch job panics, so join only fails if the worker
+        // loop itself has a bug — surface that loudly.
+        h.join().expect("batch worker panicked outside a job");
+    }
+
+    BatchReport {
+        results: slots
+            .into_iter()
+            .enumerate()
+            .map(|(idx, slot)| {
+                slot.unwrap_or_else(|| panic!("job {idx} produced no result"))
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineKind;
+    use crate::system::Mode;
+
+    fn fake_report(insns: u64) -> RunReport {
+        RunReport {
+            mode: Mode::NDroid,
+            engine: EngineKind::Optimized,
+            sink_events: Vec::new(),
+            network_log: Vec::new(),
+            violations: Vec::new(),
+            stats: None,
+            native_insns: insns,
+            bytecodes: 0,
+        }
+    }
+
+    fn job_list() -> Vec<AnalysisJob> {
+        (0..13u64)
+            .map(|i| {
+                AnalysisJob::new(format!("job_{i:02}"), move || match i % 5 {
+                    3 => Err(format!("budget exhausted on {i}")),
+                    4 => panic!("deterministic boom"),
+                    _ => Ok(fake_report(i * 100)),
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_is_submission_ordered_and_schedule_free() {
+        let one = run_batch(job_list(), BatchConfig::new(1));
+        let four = run_batch(job_list(), BatchConfig::new(4));
+        let many = run_batch(job_list(), BatchConfig::new(32));
+        assert_eq!(one, four);
+        assert_eq!(one, many);
+        assert_eq!(one.render(), four.render());
+        assert_eq!(one.results.len(), 13);
+        assert_eq!(one.results[0].label, "job_00");
+        assert_eq!(one.results[12].label, "job_12");
+    }
+
+    #[test]
+    fn panics_become_crashed_not_lost_workers() {
+        let report = run_batch(job_list(), BatchConfig::new(2));
+        assert_eq!(report.crashed(), 2); // jobs 4 and 9
+        assert_eq!(report.failed(), 2); // jobs 3 and 8
+        assert_eq!(report.completed(), 13 - 2 - 2);
+        assert!(matches!(
+            report.results[4].outcome,
+            JobOutcome::Crashed(ref m) if m == "deterministic boom"
+        ));
+        assert!(matches!(report.results[3].outcome, JobOutcome::Failed(_)));
+    }
+
+    #[test]
+    fn empty_batch_and_zero_workers() {
+        let report = run_batch(Vec::new(), BatchConfig::new(0));
+        assert!(report.results.is_empty());
+        assert_eq!(report.render(), "total=0 completed=0 failed=0 crashed=0 leaking=0\n");
+    }
+}

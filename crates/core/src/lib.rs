@@ -22,6 +22,8 @@
 
 pub mod analysis;
 pub mod baseline;
+pub mod batch;
+pub mod config;
 pub mod oracle;
 pub mod report;
 pub mod source_policy;
@@ -30,10 +32,12 @@ pub mod tracer;
 
 pub use analysis::{NDroidAnalysis, ProtectionViolation};
 pub use baseline::{DroidScopeLikeAnalysis, TaintDroidAnalysis};
+pub use batch::{AnalysisJob, BatchConfig, BatchReport, JobOutcome, JobResult};
+pub use config::{EngineKind, SourcePolicyOverride, SystemConfig};
 pub use oracle::{
     check_oracle, diff_taint_state, ref_propagate, EngineRun, OracleProgram, OracleVerdict,
     ReferenceAnalysis, StopReason,
 };
-pub use report::{CaseOutcome, DetectionReport};
+pub use report::{CaseOutcome, DetectionReport, RunReport};
 pub use source_policy::SourcePolicy;
 pub use system::{Mode, NDroidSystem};

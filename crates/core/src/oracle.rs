@@ -263,6 +263,13 @@ impl ReferenceAnalysis {
     pub fn inner(&self) -> &NDroidAnalysis {
         &self.inner
     }
+
+    /// Mutable access to the delegated analysis, so
+    /// [`crate::SystemConfig`] knobs (hook gating, taint protection,
+    /// source-policy overrides) apply to reference-engine runs too.
+    pub fn inner_mut(&mut self) -> &mut NDroidAnalysis {
+        &mut self.inner
+    }
 }
 
 impl Analysis for ReferenceAnalysis {

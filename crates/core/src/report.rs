@@ -1,16 +1,61 @@
-//! Detection reporting for the case-matrix experiments (Table I /
-//! Fig. 3 of the paper).
+//! Run results ([`RunReport`]) and detection reporting for the
+//! case-matrix experiments (Table I / Fig. 3 of the paper).
 
-use crate::system::{Mode, NDroidSystem};
+use crate::analysis::{AnalysisStats, ProtectionViolation};
+use crate::config::EngineKind;
+use crate::system::Mode;
 use ndroid_dvm::{LeakEvent, SinkContext, Taint};
 
-/// The outcome of running one information-flow case under one mode.
+/// Everything externally observable about one finished analysis run,
+/// snapshotted by [`crate::NDroidSystem::report`]. This is the one
+/// result type: case outcomes, drive reports, batch merges and the
+/// experiment binaries all consume it instead of poking at the live
+/// system. It deliberately excludes the trace log and any wall-clock
+/// data, so two runs of the same app under the same [`crate::SystemConfig`]
+/// compare equal regardless of verbosity or host timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// The analysis mode the system ran under.
+    pub mode: Mode,
+    /// Which tracer engine ran (NDroid mode only; `Optimized` otherwise).
+    pub engine: EngineKind,
+    /// Every sink invocation, tainted or not, across both contexts.
+    pub sink_events: Vec<LeakEvent>,
+    /// The kernel's raw network log: `(destination, payload, taint)`.
+    pub network_log: Vec<(String, Vec<u8>, Taint)>,
+    /// §VII taint-protection violations (NDroid engines only).
+    pub violations: Vec<ProtectionViolation>,
+    /// Analysis statistics (NDroid engines only).
+    pub stats: Option<AnalysisStats>,
+    /// Native instructions traced.
+    pub native_insns: u64,
+    /// Dalvik bytecodes interpreted.
+    pub bytecodes: u64,
+}
+
+impl RunReport {
+    /// The detected leaks (tainted sink hits).
+    pub fn leaks(&self) -> Vec<&LeakEvent> {
+        self.sink_events.iter().filter(|e| e.is_leak()).collect()
+    }
+
+    /// Whether any leak was detected.
+    pub fn leaked(&self) -> bool {
+        self.sink_events.iter().any(|e| e.is_leak())
+    }
+}
+
+/// The outcome of running one information-flow case under one
+/// (mode, engine) configuration.
 #[derive(Debug, Clone)]
 pub struct CaseOutcome {
     /// Case identifier (e.g. `"case1'"`).
     pub case: String,
     /// The analysis mode.
     pub mode: Mode,
+    /// The tracer engine that produced the row — reference-engine A/B
+    /// rows are distinct from optimized rows, not overwrites.
+    pub engine: EngineKind,
     /// Leaks detected (tainted sink hits).
     pub leaks: Vec<LeakEvent>,
     /// Sink invocations that carried the sensitive data but were seen
@@ -37,19 +82,19 @@ impl CaseOutcome {
     }
 }
 
-/// Collects an outcome from a finished system run.
+/// Collects an outcome from a finished run's [`RunReport`].
 ///
 /// `ground_truth_markers` are substrings of the actually-exfiltrated
 /// sensitive values; a sink event whose data contains one of them but
 /// whose taint is clear counts as a missed exfiltration.
 pub fn collect_outcome(
     case: &str,
-    sys: &NDroidSystem,
+    report: &RunReport,
     ground_truth_markers: &[&str],
 ) -> CaseOutcome {
-    let leaks: Vec<LeakEvent> = sys.leaks().into_iter().cloned().collect();
-    let missed = sys
-        .all_sink_events()
+    let leaks: Vec<LeakEvent> = report.leaks().into_iter().cloned().collect();
+    let missed = report
+        .sink_events
         .iter()
         .filter(|e| {
             e.taint.is_clear() && ground_truth_markers.iter().any(|m| e.data.contains(m))
@@ -57,7 +102,8 @@ pub fn collect_outcome(
         .count();
     CaseOutcome {
         case: case.to_string(),
-        mode: sys.mode,
+        mode: report.mode,
+        engine: report.engine,
         leaks,
         missed_exfiltrations: missed,
     }
@@ -85,15 +131,23 @@ impl DetectionReport {
         &self.outcomes
     }
 
-    /// The outcome for (case, mode), if recorded.
-    pub fn outcome(&self, case: &str, mode: Mode) -> Option<&CaseOutcome> {
+    /// The outcome for (case, mode, engine), if recorded. The engine is
+    /// part of the key: an A/B matrix holding both optimized and
+    /// reference rows for the same case keeps them distinct.
+    pub fn outcome(&self, case: &str, mode: Mode, engine: EngineKind) -> Option<&CaseOutcome> {
         self.outcomes
             .iter()
-            .find(|o| o.case == case && o.mode == mode)
+            .find(|o| o.case == case && o.mode == mode && o.engine == engine)
     }
 
-    /// Renders the Table-I-style matrix (rows = cases, columns = modes).
+    /// Renders the Table-I-style matrix (rows = cases, columns = modes)
+    /// for the optimized engine's rows.
     pub fn render(&self, modes: &[Mode]) -> String {
+        self.render_engine(modes, EngineKind::Optimized)
+    }
+
+    /// Renders the matrix for one engine's rows.
+    pub fn render_engine(&self, modes: &[Mode], engine: EngineKind) -> String {
         let mut cases: Vec<&str> = Vec::new();
         for o in &self.outcomes {
             if !cases.contains(&o.case.as_str()) {
@@ -110,7 +164,7 @@ impl DetectionReport {
             out.push_str(&format!("{case:<28}"));
             for m in modes {
                 let cell = self
-                    .outcome(case, *m)
+                    .outcome(case, *m, engine)
                     .map(CaseOutcome::cell)
                     .unwrap_or("?");
                 out.push_str(&format!("{cell:<16}"));
@@ -161,6 +215,7 @@ mod tests {
         let detected = CaseOutcome {
             case: "case2".into(),
             mode: Mode::NDroid,
+            engine: EngineKind::Optimized,
             leaks: vec![leak(Taint::CONTACTS)],
             missed_exfiltrations: 0,
         };
@@ -169,6 +224,7 @@ mod tests {
         let missed = CaseOutcome {
             case: "case2".into(),
             mode: Mode::TaintDroid,
+            engine: EngineKind::Optimized,
             leaks: vec![],
             missed_exfiltrations: 1,
         };
@@ -176,6 +232,7 @@ mod tests {
         let benign = CaseOutcome {
             case: "benign".into(),
             mode: Mode::NDroid,
+            engine: EngineKind::Optimized,
             leaks: vec![],
             missed_exfiltrations: 0,
         };
@@ -188,20 +245,53 @@ mod tests {
         r.push(CaseOutcome {
             case: "case1".into(),
             mode: Mode::TaintDroid,
+            engine: EngineKind::Optimized,
             leaks: vec![leak(Taint::IMEI)],
             missed_exfiltrations: 0,
         });
         r.push(CaseOutcome {
             case: "case1".into(),
             mode: Mode::NDroid,
+            engine: EngineKind::Optimized,
             leaks: vec![leak(Taint::IMEI)],
             missed_exfiltrations: 0,
         });
         let s = r.render(&[Mode::TaintDroid, Mode::NDroid]);
         assert!(s.contains("case1"));
         assert!(s.contains("detected"));
-        assert!(r.outcome("case1", Mode::NDroid).is_some());
-        assert!(r.outcome("case9", Mode::NDroid).is_none());
+        assert!(r.outcome("case1", Mode::NDroid, EngineKind::Optimized).is_some());
+        assert!(r.outcome("case9", Mode::NDroid, EngineKind::Optimized).is_none());
+    }
+
+    #[test]
+    fn engine_is_part_of_the_matrix_key() {
+        // The pre-redesign bug: an A/B run pushed a reference-engine row
+        // for (case1, NDroid) and `outcome` returned whichever came
+        // first, so reference rows shadowed optimized rows (or vice
+        // versa). Keyed on the triple, both coexist.
+        let mut r = DetectionReport::new();
+        r.push(CaseOutcome {
+            case: "case1".into(),
+            mode: Mode::NDroid,
+            engine: EngineKind::Optimized,
+            leaks: vec![leak(Taint::IMEI)],
+            missed_exfiltrations: 0,
+        });
+        r.push(CaseOutcome {
+            case: "case1".into(),
+            mode: Mode::NDroid,
+            engine: EngineKind::Reference,
+            leaks: vec![],
+            missed_exfiltrations: 1,
+        });
+        let opt = r.outcome("case1", Mode::NDroid, EngineKind::Optimized).unwrap();
+        let refr = r.outcome("case1", Mode::NDroid, EngineKind::Reference).unwrap();
+        assert!(opt.detected());
+        assert!(!refr.detected());
+        assert_eq!(r.render(&[Mode::NDroid]).matches("detected").count(), 1);
+        assert!(r
+            .render_engine(&[Mode::NDroid], EngineKind::Reference)
+            .contains("MISSED"));
     }
 
     #[test]

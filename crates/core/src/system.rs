@@ -6,7 +6,9 @@
 
 use crate::analysis::{AnalysisStats, NDroidAnalysis};
 use crate::baseline::{DroidScopeLikeAnalysis, TaintDroidAnalysis};
+use crate::config::{EngineKind, SystemConfig};
 use crate::oracle::ReferenceAnalysis;
+use crate::report::RunReport;
 use ndroid_arm::asm::CodeBlock;
 use ndroid_arm::{Cpu, Memory};
 use ndroid_dvm::{Dvm, DvmError, LeakEvent, Program, Taint};
@@ -107,22 +109,55 @@ impl std::fmt::Debug for NDroidSystem {
     }
 }
 
+/// Builds the analysis box `config` describes (and applies the
+/// DroidScope per-bytecode tax to the DVM when that mode is selected).
+fn analysis_for(config: &SystemConfig, dvm: &mut Dvm) -> AnalysisBox {
+    match config.mode {
+        Mode::Vanilla => AnalysisBox::Vanilla(VanillaAnalysis),
+        Mode::TaintDroid => AnalysisBox::TaintDroid(TaintDroidAnalysis),
+        Mode::NDroid => match config.engine {
+            EngineKind::Optimized => {
+                let mut a = Box::new(NDroidAnalysis::new());
+                a.use_cache = config.handler_cache;
+                a.gate_hooks = config.gate_hooks;
+                a.protect_taints = config.protect_taints;
+                a.policy_override = config.source_policies;
+                AnalysisBox::NDroid(a)
+            }
+            EngineKind::Reference => {
+                let mut a = Box::new(ReferenceAnalysis::new());
+                // The handler cache is structurally absent on the
+                // reference path; the remaining knobs apply as usual.
+                a.inner_mut().gate_hooks = config.gate_hooks;
+                a.inner_mut().protect_taints = config.protect_taints;
+                a.inner_mut().policy_override = config.source_policies;
+                AnalysisBox::Reference(a)
+            }
+        },
+        Mode::DroidScopeLike => {
+            dvm.per_insn_tax = DroidScopeLikeAnalysis::JAVA_WORK;
+            AnalysisBox::DroidScope(Box::new(DroidScopeLikeAnalysis::new()))
+        }
+    }
+}
+
 impl NDroidSystem {
-    /// Boots a system for `program` under `mode`.
+    /// Boots a system for `program` under `mode` with every other
+    /// setting at its default (equivalent to
+    /// `from_config(program, SystemConfig::new(mode))`).
     pub fn new(program: Program, mode: Mode) -> NDroidSystem {
+        NDroidSystem::from_config(program, SystemConfig::new(mode))
+    }
+
+    /// Boots the system `config` describes — the one constructor every
+    /// other entry point funnels through.
+    pub fn from_config(program: Program, config: SystemConfig) -> NDroidSystem {
+        let mode = config.mode;
         let mut cpu = Cpu::new();
         cpu.regs[13] = layout::NATIVE_STACK_TOP;
         let mut dvm = Dvm::new(program);
         dvm.taint_tracking = mode != Mode::Vanilla;
-        let analysis = match mode {
-            Mode::Vanilla => AnalysisBox::Vanilla(VanillaAnalysis),
-            Mode::TaintDroid => AnalysisBox::TaintDroid(TaintDroidAnalysis),
-            Mode::NDroid => AnalysisBox::NDroid(Box::new(NDroidAnalysis::new())),
-            Mode::DroidScopeLike => {
-                dvm.per_insn_tax = DroidScopeLikeAnalysis::JAVA_WORK;
-                AnalysisBox::DroidScope(Box::new(DroidScopeLikeAnalysis::new()))
-            }
-        };
+        let analysis = analysis_for(&config, &mut dvm);
         let mut table = HostTable::new();
         install_all(&mut table);
         install_jni(&mut table);
@@ -168,23 +203,31 @@ impl NDroidSystem {
         });
         let mut mem = Memory::new();
         tasks.flush(&mut mem);
+        let mut icache = ndroid_arm::icache::DecodeCache::new();
+        // The reference engine runs with no fast path at all.
+        icache.enabled = config.icache && config.engine == EngineKind::Optimized;
         NDroidSystem {
             cpu,
             mem,
             dvm,
             shadow: ShadowState::new(),
             kernel: Kernel::new(),
-            trace: TraceLog::new(),
-            budget: 200_000_000,
+            trace: if config.quiet {
+                TraceLog::disabled()
+            } else {
+                TraceLog::new()
+            },
+            budget: config.budget,
             table,
             tasks,
-            icache: ndroid_arm::icache::DecodeCache::new(),
+            icache,
             analysis,
             mode,
         }
     }
 
     /// Disables trace recording (for benchmarks).
+    #[deprecated(note = "use `SystemConfig::quiet(true)` with `NDroidSystem::from_config`")]
     pub fn quiet(mut self) -> NDroidSystem {
         self.trace = TraceLog::disabled();
         self
@@ -317,9 +360,47 @@ impl NDroidSystem {
     /// reference engine (and disables the decoded-instruction cache,
     /// so the run uses no fast path at all). Only meaningful on a
     /// system booted in [`Mode::NDroid`]; call before running the app.
+    #[deprecated(
+        note = "use `SystemConfig::reference()` (engine = EngineKind::Reference) with `NDroidSystem::from_config`"
+    )]
     pub fn use_reference_engine(&mut self) {
         self.analysis = AnalysisBox::Reference(Box::new(ReferenceAnalysis::new()));
         self.icache.enabled = false;
+    }
+
+    /// Which tracer engine this system runs (derived from the installed
+    /// analysis, so it cannot desynchronize).
+    pub fn engine(&self) -> EngineKind {
+        match &self.analysis {
+            AnalysisBox::Reference(_) => EngineKind::Reference,
+            _ => EngineKind::Optimized,
+        }
+    }
+
+    /// The one result type: everything externally observable about the
+    /// finished run — sink events, leaks, the kernel's network log,
+    /// protection violations, analysis statistics and work counters —
+    /// snapshotted into a [`RunReport`]. [`crate::report::CaseOutcome`],
+    /// [`crate::batch::BatchReport`] and the experiment binaries all
+    /// build from this instead of poking at the system.
+    pub fn report(&self) -> RunReport {
+        let (violations, stats) = match &self.analysis {
+            AnalysisBox::NDroid(a) => (a.violations.clone(), Some(a.stats.clone())),
+            AnalysisBox::Reference(a) => {
+                (a.violations().to_vec(), Some(a.inner().stats.clone()))
+            }
+            _ => (Vec::new(), None),
+        };
+        RunReport {
+            mode: self.mode,
+            engine: self.engine(),
+            sink_events: self.all_sink_events().into_iter().cloned().collect(),
+            network_log: self.kernel.network_log.clone(),
+            violations,
+            stats,
+            native_insns: self.native_insns(),
+            bytecodes: self.bytecodes(),
+        }
     }
 
     /// The reference analysis, when [`Self::use_reference_engine`] was

@@ -37,11 +37,17 @@ TESTKIT_CASES=256 cargo test -q --offline -p ndroid-core \
   --test oracle_prop --test oracle_regression
 TESTKIT_CASES=256 cargo test -q --offline -p ndroid-apps --test oracle_gallery
 
+echo "== batch farm: 4-worker merge must match the sequential golden =="
+# Runs the farm over the gallery + a pinned 32-sample corpus shard,
+# sequentially and at 4 workers, and exits non-zero unless the merged
+# BatchReport (and its rendering) is byte-identical.
+cargo run -q --release --offline -p ndroid-bench --bin exp_batch -- --workers 4
+
 echo "== bench smoke pass (TESTKIT_BENCH_SMOKE=1) =="
 BENCH_DIR="$(mktemp -d)"
 TESTKIT_BENCH_SMOKE=1 TESTKIT_BENCH_DIR="$BENCH_DIR" \
   cargo bench -q --offline -p ndroid-bench
-for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json BENCH_oracle.json; do
+for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json BENCH_oracle.json BENCH_batch.json; do
   if [ ! -s "$BENCH_DIR/$f" ]; then
     echo "error: bench smoke did not produce $f" >&2
     exit 1

@@ -35,17 +35,17 @@
 //!
 //! ```
 //! use ndroid::apps::cases::case2;
-//! use ndroid::core::Mode;
+//! use ndroid::core::{Mode, SystemConfig};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // An app whose Java code reads a contact and whose native code
 //! // exfiltrates it over a socket (Case 2 of the paper) …
-//! let sys = case2().run(Mode::NDroid)?;
-//! assert_eq!(sys.leaks().len(), 1, "NDroid catches the native-side send");
+//! let report = case2().run_with(SystemConfig::new(Mode::NDroid))?.report();
+//! assert_eq!(report.leaks().len(), 1, "NDroid catches the native-side send");
 //!
 //! // … which TaintDroid alone cannot see.
-//! let sys = case2().run(Mode::TaintDroid)?;
-//! assert!(sys.leaks().is_empty(), "TaintDroid's sinks are Java-only");
+//! let report = case2().run_with(SystemConfig::new(Mode::TaintDroid))?.report();
+//! assert!(report.leaks().is_empty(), "TaintDroid's sinks are Java-only");
 //! # Ok(())
 //! # }
 //! ```
