@@ -4,8 +4,8 @@
 //! `TESTKIT_SEED`.
 
 use ndroid_apps::farm;
-use ndroid_core::batch::{run_batch, AnalysisJob, BatchConfig, JobOutcome};
-use ndroid_core::SystemConfig;
+use ndroid_core::batch::{run_batch, AnalysisJob, BatchConfig, BatchReport, JobOutcome};
+use ndroid_core::{ProvenanceLevel, SystemConfig};
 use ndroid_testkit::prelude::*;
 
 /// One deterministic job mix: gallery apps, a corpus shard, and monkey
@@ -71,4 +71,45 @@ fn crashes_and_failures_merge_deterministically() {
         &one.results[4].outcome,
         JobOutcome::Failed(m) if m == "deterministic failure"
     ));
+}
+
+/// Provenance recording rides the farm deterministically: the per-job
+/// flow-graph fingerprints (and drop counters) in the merged report are
+/// identical whether 1, 2, or 8 workers ran the pinned gallery apps —
+/// the event streams are per-system, so worker scheduling can't
+/// interleave them.
+#[test]
+fn provenance_fingerprints_are_worker_count_invariant() {
+    let jobs = || {
+        let config = SystemConfig::ndroid()
+            .quiet(true)
+            .provenance(ProvenanceLevel::Full);
+        farm::gallery_jobs(&config)
+    };
+    let fingerprints = |r: &BatchReport| -> Vec<(String, u64, u64, usize)> {
+        r.results
+            .iter()
+            .map(|j| {
+                let p = match &j.outcome {
+                    JobOutcome::Completed(rep) => {
+                        rep.provenance.expect("Full-level job carries a summary")
+                    }
+                    other => panic!("gallery job did not complete: {other:?}"),
+                };
+                (j.label.clone(), p.fingerprint, p.dropped, p.leak_paths)
+            })
+            .collect()
+    };
+    let one = run_batch(jobs(), BatchConfig::new(1));
+    let two = run_batch(jobs(), BatchConfig::new(2));
+    let eight = run_batch(jobs(), BatchConfig::new(8));
+    let pinned = fingerprints(&one);
+    assert_eq!(pinned, fingerprints(&two));
+    assert_eq!(pinned, fingerprints(&eight));
+    assert_eq!(pinned.len(), 3, "three gallery apps");
+    for (name, _, dropped, leak_paths) in &pinned {
+        assert_eq!(*dropped, 0, "{name}: ring never overflows on the gallery");
+        assert!(*leak_paths > 0, "{name}: every gallery app yields a leak path");
+    }
+    assert_eq!(one, eight, "whole merged reports stay equal too");
 }

@@ -1,27 +1,18 @@
-//! API-redesign equivalence: every legacy construction path
-//! (`NDroidSystem::new`, `quiet()`, `use_reference_engine()`) and its
-//! `SystemConfig` counterpart must produce identical [`RunReport`]s on
-//! the three gallery apps. This is the contract that lets the
-//! deprecated shims eventually disappear without behavior drift.
-
-#![allow(deprecated)] // exercising the legacy paths is the point
+//! API-redesign equivalence: the construction surface is
+//! [`SystemConfig`] + `NDroidSystem::from_config` (the deprecated
+//! `quiet()` / `use_reference_engine()` shims are gone). Every knob
+//! must be a pure function of the config value: same config, same
+//! [`RunReport`], and report-excluded knobs (verbosity) must not leak
+//! into it.
 
 use ndroid_apps::{crypto_hider, qq_phonebook, thumb_spy, App};
-use ndroid_core::{
-    EngineKind, Mode, NDroidSystem, RunReport, SourcePolicyOverride, SystemConfig,
-};
+use ndroid_core::{EngineKind, Mode, RunReport, SourcePolicyOverride, SystemConfig};
 
 const GALLERY: [(&str, fn() -> App); 3] = [
     ("qq_phonebook", qq_phonebook::qq_phonebook),
     ("thumb_spy", thumb_spy::thumb_spy),
     ("crypto_hider", crypto_hider::crypto_hider),
 ];
-
-/// Runs the app's Java entry on an already-configured system (the
-/// legacy paths configure after boot, so they can't use `run_with`).
-fn run_entry(app_entry: &(String, String), sys: &mut NDroidSystem) {
-    sys.run_java(&app_entry.0, &app_entry.1, &[]).expect("entry runs");
-}
 
 #[test]
 fn legacy_new_matches_from_config_across_modes() {
@@ -38,20 +29,12 @@ fn legacy_new_matches_from_config_across_modes() {
 }
 
 #[test]
-fn legacy_quiet_matches_config_quiet_and_verbose() {
+fn quiet_is_report_invariant() {
     for (name, build) in GALLERY {
-        // Legacy: boot, then the deprecated quiet() shim.
-        let app = build();
-        let entry = app.entry.clone();
-        let mut sys = app.launch(Mode::NDroid).quiet();
-        run_entry(&entry, &mut sys);
-        let legacy = sys.report();
-
         let quiet = build()
             .run_with(SystemConfig::ndroid().quiet(true))
             .expect("quiet run")
             .report();
-        assert_eq!(legacy, quiet, "{name}: legacy quiet() vs SystemConfig::quiet");
 
         // RunReport excludes the trace log, so verbosity cannot change it.
         let verbose = build()
@@ -63,22 +46,20 @@ fn legacy_quiet_matches_config_quiet_and_verbose() {
 }
 
 #[test]
-fn legacy_reference_engine_matches_config_reference() {
+fn reference_config_selects_the_reference_engine_deterministically() {
     for (name, build) in GALLERY {
-        let legacy = build()
-            .run_configured(Mode::NDroid, NDroidSystem::use_reference_engine)
-            .expect("legacy reference run")
-            .report();
-        assert_eq!(legacy.engine, EngineKind::Reference);
-
-        let configured = build()
+        let first = build()
             .run_with(SystemConfig::ndroid().reference())
-            .expect("configured reference run")
+            .expect("reference run")
             .report();
-        assert_eq!(
-            legacy, configured,
-            "{name}: use_reference_engine() vs SystemConfig::reference()"
-        );
+        assert_eq!(first.engine, EngineKind::Reference, "{name}");
+        assert!(first.leaked(), "{name}: gallery app must leak on the reference engine");
+
+        let second = build()
+            .run_with(SystemConfig::ndroid().reference())
+            .expect("reference rerun")
+            .report();
+        assert_eq!(first, second, "{name}: same config, same report");
     }
 }
 

@@ -1,0 +1,182 @@
+//! Gallery leak-path pins for the provenance subsystem: each pinned
+//! gallery leak must be reconstructible as a non-empty source→sink
+//! path whose endpoints match the pinned [`LeakEvent`]s, identically
+//! across tracer engines (the differential-oracle guarantee extends to
+//! the event stream) and at both recording levels.
+
+use ndroid_apps::{crypto_hider, qq_phonebook, thumb_spy, App};
+use ndroid_core::{
+    EngineKind, FlowGraph, NDroidSystem, ProvEvent, ProvenanceLevel, SystemConfig,
+};
+use ndroid_dvm::Taint;
+
+const GALLERY: [(&str, fn() -> App); 3] = [
+    ("qq_phonebook", qq_phonebook::qq_phonebook),
+    ("thumb_spy", thumb_spy::thumb_spy),
+    ("crypto_hider", crypto_hider::crypto_hider),
+];
+
+fn run(build: fn() -> App, engine: EngineKind, level: ProvenanceLevel) -> NDroidSystem {
+    build()
+        .run_with(SystemConfig::ndroid().engine(engine).provenance(level))
+        .expect("gallery app runs")
+}
+
+/// For every pinned leak the graph holds a matching `Sink` event with a
+/// non-empty path per label bit, starting at a `Source` that carries
+/// that bit and ending at the sink itself.
+fn assert_paths_cover_pinned_leaks(name: &str, sys: &NDroidSystem, graph: &FlowGraph) {
+    let leaks = sys.leaks();
+    assert!(!leaks.is_empty(), "{name}: gallery app must leak");
+    for leak in leaks {
+        let sink_idx = graph
+            .events()
+            .iter()
+            .position(|e| {
+                matches!(e, ProvEvent::Sink { sink, dest, label, .. }
+                    if *sink == leak.sink && *dest == leak.dest && *label == leak.taint.0)
+            })
+            .unwrap_or_else(|| {
+                panic!("{name}: no Sink event matches pinned leak {leak:?}")
+            });
+        let paths = graph.leak_paths(sink_idx);
+        assert_eq!(
+            paths.len(),
+            leak.taint.0.count_ones() as usize,
+            "{name}: one path per label bit"
+        );
+        for path in &paths {
+            assert!(
+                leak.taint.contains(Taint(path.label)),
+                "{name}: path label {:#x} within the leak label",
+                path.label
+            );
+            assert!(path.nodes.len() >= 2, "{name}: path spans source to sink");
+            assert_eq!(*path.nodes.last().unwrap(), sink_idx);
+            let first = &graph.events()[path.nodes[0]];
+            assert!(
+                matches!(first, ProvEvent::Source { label, .. } if label & path.label != 0),
+                "{name}: path for bit {:#x} must start at a Source, got {}",
+                path.label,
+                first.canonical()
+            );
+        }
+    }
+}
+
+#[test]
+fn gallery_leak_paths_reconstruct_under_full() {
+    for (name, build) in GALLERY {
+        let sys = run(build, EngineKind::Optimized, ProvenanceLevel::Full);
+        let graph = sys.flow_graph();
+        assert_paths_cover_pinned_leaks(name, &sys, &graph);
+        // Full level additionally carries native block summaries.
+        assert!(
+            graph
+                .events()
+                .iter()
+                .any(|e| matches!(e, ProvEvent::NativeBlock { .. })),
+            "{name}: Full level records native block summaries"
+        );
+    }
+}
+
+#[test]
+fn gallery_leak_paths_reconstruct_under_summary() {
+    for (name, build) in GALLERY {
+        let sys = run(build, EngineKind::Optimized, ProvenanceLevel::Summary);
+        let graph = sys.flow_graph();
+        assert_paths_cover_pinned_leaks(name, &sys, &graph);
+        assert!(
+            !graph
+                .events()
+                .iter()
+                .any(|e| matches!(e, ProvEvent::NativeBlock { .. })),
+            "{name}: Summary level omits per-block events"
+        );
+    }
+}
+
+#[test]
+fn engines_record_identical_event_streams() {
+    for level in [ProvenanceLevel::Summary, ProvenanceLevel::Full] {
+        for (name, build) in GALLERY {
+            let opt = run(build, EngineKind::Optimized, level);
+            let refr = run(build, EngineKind::Reference, level);
+            assert_eq!(
+                opt.prov_events(),
+                refr.prov_events(),
+                "{name} at {level}: engine changed the event stream"
+            );
+            assert_eq!(
+                opt.flow_graph().fingerprint(),
+                refr.flow_graph().fingerprint(),
+                "{name} at {level}: engine changed the flow graph"
+            );
+        }
+    }
+}
+
+#[test]
+fn report_summary_digests_the_graph() {
+    for (name, build) in GALLERY {
+        let sys = run(build, EngineKind::Optimized, ProvenanceLevel::Full);
+        let graph = sys.flow_graph();
+        let report = sys.report();
+        let summary = report.provenance.expect("Full run carries a summary");
+        assert_eq!(summary.level, ProvenanceLevel::Full, "{name}");
+        assert_eq!(summary.fingerprint, graph.fingerprint(), "{name}");
+        assert_eq!(summary.leak_paths, graph.total_leak_paths(), "{name}");
+        assert_eq!(summary.recorded, graph.events().len() as u64, "{name}");
+        assert_eq!(summary.dropped, 0, "{name}: default ring never overflows here");
+        assert!(summary.leak_paths > 0, "{name}: at least one leak path");
+    }
+}
+
+#[test]
+fn off_level_records_nothing_and_reports_none() {
+    for (name, build) in GALLERY {
+        let sys = run(build, EngineKind::Optimized, ProvenanceLevel::Off);
+        assert!(sys.prov_events().is_empty(), "{name}");
+        assert_eq!(sys.flow_graph().total_leak_paths(), 0, "{name}");
+        let report = sys.report();
+        assert!(report.provenance.is_none(), "{name}: Off reports no summary");
+        assert!(report.leaked(), "{name}: detection itself is unaffected");
+    }
+}
+
+#[test]
+fn qq_phonebook_path_walks_the_jni_round_trip() {
+    // The paper's Fig. 6 flow, reconstructed: contacts + SMS enter as
+    // Java sources, cross into native through GetStringUTFChars, ride
+    // the libc string machinery, return through NewStringUTF, and post
+    // from Java with the 0x202 union label.
+    let sys = run(
+        qq_phonebook::qq_phonebook,
+        EngineKind::Optimized,
+        ProvenanceLevel::Full,
+    );
+    let graph = sys.flow_graph();
+    let sink = *graph.sinks().last().expect("sink recorded");
+    let paths = graph.leak_paths(sink);
+    assert_eq!(paths.len(), 2, "one path for contacts, one for sms");
+    for path in &paths {
+        let rendered = graph.render_path(path);
+        assert!(rendered.contains("source "), "{rendered}");
+        assert!(rendered.contains("jni-entry "), "{rendered}");
+        assert!(
+            rendered.contains("transfer GetStringUTFChars java->native"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("libc "), "{rendered}");
+        assert!(
+            rendered.contains("transfer NewStringUTF native->java"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("jni-exit "), "{rendered}");
+        assert!(
+            rendered.contains("sink HttpClient.post(sync.3g.qq.com) [java]"),
+            "{rendered}"
+        );
+    }
+}

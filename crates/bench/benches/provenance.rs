@@ -1,0 +1,65 @@
+//! Provenance recording overhead: the three gallery apps run end to
+//! end at every [`ProvenanceLevel`], plus a pure-native Thumb workload
+//! (the tracer hot path the `Off` contract protects). Writes
+//! `BENCH_provenance.json`; `TESTKIT_BENCH_SMOKE=1` runs a minimal
+//! pass.
+//!
+//! Interpreting the numbers: `gallery/off` must sit within measurement
+//! noise of `gallery/baseline` (a config that never mentions
+//! provenance) — `Level::Off` leaves the handle's ring unallocated, so
+//! the hot path pays exactly one null-check branch per potential
+//! emission. `summary` adds boundary/libc/sink events only; `full`
+//! additionally aggregates per-basic-block native summaries, so it is
+//! the upper bound.
+
+use ndroid_apps::App;
+use ndroid_core::{ProvenanceLevel, SystemConfig};
+use ndroid_testkit::bench::{black_box, Suite};
+
+const GALLERY: [fn() -> App; 3] = [
+    ndroid_apps::qq_phonebook::qq_phonebook,
+    ndroid_apps::thumb_spy::thumb_spy,
+    ndroid_apps::crypto_hider::crypto_hider,
+];
+
+fn run_gallery(config: &SystemConfig) {
+    for build in GALLERY {
+        let sys = build().run_with(config.clone()).expect("gallery app runs");
+        black_box(sys.report());
+    }
+}
+
+fn main() {
+    let mut suite = Suite::new("provenance");
+    // A config that never touches the provenance knob: the pre-subsystem
+    // behavior, for the zero-cost comparison.
+    suite.bench("gallery/baseline", || {
+        run_gallery(&SystemConfig::ndroid().quiet(true));
+    });
+    for (tag, level) in [
+        ("off", ProvenanceLevel::Off),
+        ("summary", ProvenanceLevel::Summary),
+        ("full", ProvenanceLevel::Full),
+    ] {
+        let config = SystemConfig::ndroid().quiet(true).provenance(level);
+        suite.bench(&format!("gallery/{tag}"), || {
+            run_gallery(&config);
+        });
+    }
+    // The Full level's flow-graph construction and path query, isolated
+    // from the runs themselves.
+    let sys = GALLERY[0]()
+        .run_with(
+            SystemConfig::ndroid()
+                .quiet(true)
+                .provenance(ProvenanceLevel::Full),
+        )
+        .expect("gallery app runs");
+    let events = sys.prov_events();
+    suite.bench("graph/build_and_query", || {
+        let graph = ndroid_core::FlowGraph::build(&events);
+        black_box(graph.total_leak_paths());
+        black_box(graph.fingerprint());
+    });
+    suite.finish();
+}

@@ -15,6 +15,7 @@ use ndroid_emu::shadow::ShadowState;
 use ndroid_emu::trace::TraceLog;
 use ndroid_jni::calls::{parse_call_name, ArgForm};
 use ndroid_jni::{dvm_addr, jni_names};
+use ndroid_provenance::{Handle, ProvEvent};
 use std::collections::HashMap;
 
 /// Aggregate statistics of one analysis run.
@@ -95,6 +96,18 @@ pub struct NDroidAnalysis {
     active: Vec<MultilevelHook>,
     /// Run statistics.
     pub stats: AnalysisStats,
+    block: BlockAcc,
+}
+
+/// Accumulator for one basic-block run of native taint writes — the
+/// µDep-style summarization: provenance records one event per run
+/// (flushed at branch events and JNI returns), never one event per
+/// instruction. Only populated at `Level::Full`.
+#[derive(Debug, Default)]
+struct BlockAcc {
+    start_pc: u32,
+    insns: u32,
+    label: u32,
 }
 
 impl Default for NDroidAnalysis {
@@ -186,12 +199,45 @@ impl NDroidAnalysis {
             inner_addrs,
             active: Vec::new(),
             stats: AnalysisStats::default(),
+            block: BlockAcc::default(),
         }
     }
 
     /// The source-policy map (for inspection in tests/benches).
     pub fn policies(&self) -> &SourcePolicyMap {
         &self.policies
+    }
+
+    /// Folds one instruction's written-taint union into the current
+    /// basic-block run. Clean writes and non-`Full` levels are
+    /// rejected up front, so this is two predictable branches on the
+    /// hot path.
+    #[inline]
+    pub(crate) fn note_written(&mut self, prov: &Handle, pc: u32, written: Taint) {
+        if !prov.is_full() || !written.is_tainted() {
+            return;
+        }
+        if self.block.insns == 0 {
+            self.block.start_pc = pc;
+        }
+        self.block.insns += 1;
+        self.block.label |= written.0;
+    }
+
+    /// Emits the pending [`ProvEvent::NativeBlock`] (if any). Called
+    /// at every branch event and at JNI return, ending the current
+    /// basic-block run.
+    #[inline]
+    pub(crate) fn flush_block(&mut self, prov: &Handle) {
+        if self.block.insns == 0 {
+            return;
+        }
+        prov.emit(ProvEvent::NativeBlock {
+            start_pc: self.block.start_pc,
+            insns: self.block.insns,
+            label: self.block.label,
+        });
+        self.block = BlockAcc::default();
     }
 }
 
@@ -260,10 +306,12 @@ impl Analysis for NDroidAnalysis {
                 }
             }
         }
-        propagate(shadow, effect);
+        let written = propagate(shadow, effect);
+        self.note_written(&shadow.prov, effect.pc, written);
     }
 
-    fn on_branch(&mut self, _shadow: &mut ShadowState, from: u32, to: u32) {
+    fn on_branch(&mut self, shadow: &mut ShadowState, from: u32, to: u32) {
+        self.flush_block(&shadow.prov);
         self.stats.branch_events += 1;
         // Unconditional-hooking counterfactual (ablation D1).
         if self.inner_addrs.contains(&to) {
@@ -373,6 +421,7 @@ impl Analysis for NDroidAnalysis {
         method: MethodId,
         ret: u32,
     ) -> Taint {
+        self.flush_block(&shadow.prov);
         let t = shadow.regs[0];
         if t.is_tainted() {
             trace.push(

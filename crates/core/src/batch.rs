@@ -297,6 +297,7 @@ mod tests {
             stats: None,
             native_insns: insns,
             bytecodes: 0,
+            provenance: None,
         }
     }
 

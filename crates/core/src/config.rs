@@ -10,6 +10,7 @@
 //! run and [`crate::NDroidSystem::from_config`] realizes it.
 
 use crate::system::Mode;
+use ndroid_provenance::Level;
 
 /// Which taint-propagation engine drives the native tracer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -84,6 +85,9 @@ pub struct SystemConfig {
     pub protect_taints: bool,
     /// Source-policy installation rule at JNI entries.
     pub source_policies: SourcePolicyOverride,
+    /// How much taint provenance is recorded ([`Level::Off`] keeps the
+    /// hot path free of any recording work).
+    pub provenance: Level,
 }
 
 impl SystemConfig {
@@ -101,6 +105,7 @@ impl SystemConfig {
             gate_hooks: true,
             protect_taints: true,
             source_policies: SourcePolicyOverride::AsPaper,
+            provenance: Level::Off,
         }
     }
 
@@ -177,6 +182,13 @@ impl SystemConfig {
         self.source_policies = rule;
         self
     }
+
+    /// Sets the provenance recording level.
+    #[must_use]
+    pub fn provenance(mut self, level: Level) -> SystemConfig {
+        self.provenance = level;
+        self
+    }
 }
 
 impl Default for SystemConfig {
@@ -202,6 +214,7 @@ mod tests {
         assert!(c.gate_hooks);
         assert!(c.protect_taints);
         assert_eq!(c.source_policies, SourcePolicyOverride::AsPaper);
+        assert_eq!(c.provenance, Level::Off);
     }
 
     #[test]
@@ -214,13 +227,15 @@ mod tests {
             .handler_cache(false)
             .gate_hooks(false)
             .protect_taints(false)
-            .source_policies(SourcePolicyOverride::Never);
+            .source_policies(SourcePolicyOverride::Never)
+            .provenance(Level::Full);
         assert_eq!(c.mode, Mode::NDroid);
         assert_eq!(c.engine, EngineKind::Reference);
         assert!(c.quiet && !c.icache && !c.handler_cache);
         assert_eq!(c.budget, 1_000);
         assert!(!c.gate_hooks && !c.protect_taints);
         assert_eq!(c.source_policies, SourcePolicyOverride::Never);
+        assert_eq!(c.provenance, Level::Full);
     }
 
     #[test]

@@ -39,5 +39,9 @@ pub use oracle::{
     ReferenceAnalysis, StopReason,
 };
 pub use report::{CaseOutcome, DetectionReport, RunReport};
+pub use ndroid_provenance::{
+    FlowGraph, Handle as ProvHandle, LeakPath, Level as ProvenanceLevel, ProvEvent,
+    ProvenanceSummary,
+};
 pub use source_policy::SourcePolicy;
 pub use system::{Mode, NDroidSystem};

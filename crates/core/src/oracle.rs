@@ -101,19 +101,25 @@ fn set_vfp_taint(vfp: &mut [Taint; 32], prec: VfpPrec, f: u8, t: Taint) {
 /// union the address registers' taints into the destination, and
 /// base-register writeback unions the offset register's taint into
 /// the base.
+///
+/// Returns the union of the taints the instruction actually wrote —
+/// the same contract as [`crate::tracer::propagate`], bit for bit, so
+/// provenance block summaries are engine-identical and the oracle's
+/// equality guarantee extends to them.
 pub fn ref_propagate(
     regs: &mut [Taint; 16],
     vfp: &mut [Taint; 32],
     mem: &mut impl TaintMem,
     effect: &Effect,
-) {
+) -> Taint {
     if !effect.executed {
-        return;
+        return Taint::CLEAR;
     }
+    let mut written = Taint::CLEAR;
     match effect.instr {
         Instr::Dp { op, rd, rn, op2, .. } => {
             if op.is_compare() {
-                return; // flags carry no taint (§VII)
+                return Taint::CLEAR; // flags carry no taint (§VII)
             }
             let mut t = Taint::CLEAR;
             if op.uses_rn() {
@@ -128,6 +134,7 @@ pub fn ref_propagate(
             }
             if rd != Reg::PC {
                 regs[rd.index()] = t;
+                written |= t;
             }
         }
         Instr::Mul { rd, rm, rs, acc, .. } => {
@@ -137,6 +144,7 @@ pub fn ref_propagate(
             }
             if rd != Reg::PC {
                 regs[rd.index()] = t;
+                written |= t;
             }
         }
         Instr::Mem {
@@ -149,7 +157,9 @@ pub fn ref_propagate(
             writeback,
             ..
         } => {
-            let Some(addr) = effect.addr else { return };
+            let Some(addr) = effect.addr else {
+                return Taint::CLEAR;
+            };
             let width = size.bytes();
             // Writeback pointer rule: Rn ends as Rn ± offset, so a
             // register offset folds its taint into the base. Ordered
@@ -159,6 +169,7 @@ pub fn ref_propagate(
                 if let MemOffset::Reg { rm, .. } = offset {
                     if rn != Reg::PC {
                         regs[rn.index()] |= regs[rm.index()];
+                        written |= regs[rn.index()];
                     }
                 }
             }
@@ -169,16 +180,20 @@ pub fn ref_propagate(
                 }
                 if rd != Reg::PC {
                     regs[rd.index()] = t;
+                    written |= t;
                 }
             } else {
                 mem.store_taint(addr, width, regs[rd.index()]);
+                written |= regs[rd.index()];
             }
         }
         Instr::MemMulti {
             load, rn, regs: list, ..
         } => {
             // Writeback is Rn ± 4·n — constant, so t(Rn) unchanged.
-            let Some(start) = effect.addr else { return };
+            let Some(start) = effect.addr else {
+                return Taint::CLEAR;
+            };
             let base_taint = regs[rn.index()];
             for (i, r) in list.iter().enumerate() {
                 let slot = start.wrapping_add(4 * i as u32);
@@ -186,9 +201,11 @@ pub fn ref_propagate(
                     let t = mem.load_taint(slot, 4) | base_taint;
                     if r != Reg::PC {
                         regs[r.index()] = t;
+                        written |= t;
                     }
                 } else {
                     mem.store_taint(slot, 4, regs[r.index()]);
+                    written |= regs[r.index()];
                 }
             }
         }
@@ -202,28 +219,35 @@ pub fn ref_propagate(
             ..
         } => {
             if op == VfpOp::Cmp {
-                return;
+                return Taint::CLEAR;
             }
             let mut t = vfp_taint(vfp, prec, fm);
             if op != VfpOp::Mov {
                 t |= vfp_taint(vfp, prec, fn_);
             }
             set_vfp_taint(vfp, prec, fd, t);
+            written |= t;
         }
         Instr::VfpMem {
             load, prec, fd, rn, ..
         } => {
-            let Some(addr) = effect.addr else { return };
+            let Some(addr) = effect.addr else {
+                return Taint::CLEAR;
+            };
             let width = if prec == VfpPrec::F64 { 8 } else { 4 };
             if load {
                 let t = mem.load_taint(addr, width) | regs[rn.index()];
                 set_vfp_taint(vfp, prec, fd, t);
+                written |= t;
             } else {
-                mem.store_taint(addr, width, vfp_taint(vfp, prec, fd));
+                let t = vfp_taint(vfp, prec, fd);
+                mem.store_taint(addr, width, t);
+                written |= t;
             }
         }
         Instr::VfpMrs { .. } => {}
     }
+    written
 }
 
 /// The reference analysis: [`ref_propagate`] mounted behind the
@@ -299,11 +323,18 @@ impl Analysis for ReferenceAnalysis {
                 }
             }
         }
-        let ShadowState {
-            regs, vfp, mem, ops, ..
-        } = shadow;
-        *ops += 1;
-        ref_propagate(regs, vfp, mem, effect);
+        let written;
+        {
+            let ShadowState {
+                regs, vfp, mem, ops, ..
+            } = shadow;
+            *ops += 1;
+            written = ref_propagate(regs, vfp, mem, effect);
+        }
+        // Same block accumulation as the optimized path: skipped
+        // instructions there (branches, SVCs) never write taint, so
+        // the event streams are engine-identical.
+        self.inner.note_written(&shadow.prov, effect.pc, written);
     }
 
     fn on_branch(&mut self, shadow: &mut ShadowState, from: u32, to: u32) {

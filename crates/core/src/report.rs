@@ -5,6 +5,7 @@ use crate::analysis::{AnalysisStats, ProtectionViolation};
 use crate::config::EngineKind;
 use crate::system::Mode;
 use ndroid_dvm::{LeakEvent, SinkContext, Taint};
+use ndroid_provenance::ProvenanceSummary;
 
 /// Everything externally observable about one finished analysis run,
 /// snapshotted by [`crate::NDroidSystem::report`]. This is the one
@@ -31,6 +32,9 @@ pub struct RunReport {
     pub native_insns: u64,
     /// Dalvik bytecodes interpreted.
     pub bytecodes: u64,
+    /// Digest of the recorded taint provenance (`None` when the run's
+    /// [`ndroid_provenance::Level`] was `Off`).
+    pub provenance: Option<ProvenanceSummary>,
 }
 
 impl RunReport {
@@ -62,6 +66,10 @@ pub struct CaseOutcome {
     /// as clean (undetected exfiltration — the false negatives the
     /// paper attributes to TaintDroid in cases 1', 2, 3, 4).
     pub missed_exfiltrations: usize,
+    /// Source→sink leak paths reconstructed from the run's provenance
+    /// (0 when provenance recording was off — the schema-stable
+    /// default, so `exp_case_matrix` output is unchanged).
+    pub leak_paths: usize,
 }
 
 impl CaseOutcome {
@@ -106,6 +114,7 @@ pub fn collect_outcome(
         engine: report.engine,
         leaks,
         missed_exfiltrations: missed,
+        leak_paths: report.provenance.map_or(0, |p| p.leak_paths),
     }
 }
 
@@ -218,6 +227,7 @@ mod tests {
             engine: EngineKind::Optimized,
             leaks: vec![leak(Taint::CONTACTS)],
             missed_exfiltrations: 0,
+            leak_paths: 0,
         };
         assert!(detected.detected());
         assert_eq!(detected.cell(), "detected");
@@ -227,6 +237,7 @@ mod tests {
             engine: EngineKind::Optimized,
             leaks: vec![],
             missed_exfiltrations: 1,
+            leak_paths: 0,
         };
         assert_eq!(missed.cell(), "MISSED");
         let benign = CaseOutcome {
@@ -235,6 +246,7 @@ mod tests {
             engine: EngineKind::Optimized,
             leaks: vec![],
             missed_exfiltrations: 0,
+            leak_paths: 0,
         };
         assert_eq!(benign.cell(), "-");
     }
@@ -248,6 +260,7 @@ mod tests {
             engine: EngineKind::Optimized,
             leaks: vec![leak(Taint::IMEI)],
             missed_exfiltrations: 0,
+            leak_paths: 0,
         });
         r.push(CaseOutcome {
             case: "case1".into(),
@@ -255,6 +268,7 @@ mod tests {
             engine: EngineKind::Optimized,
             leaks: vec![leak(Taint::IMEI)],
             missed_exfiltrations: 0,
+            leak_paths: 0,
         });
         let s = r.render(&[Mode::TaintDroid, Mode::NDroid]);
         assert!(s.contains("case1"));
@@ -276,6 +290,7 @@ mod tests {
             engine: EngineKind::Optimized,
             leaks: vec![leak(Taint::IMEI)],
             missed_exfiltrations: 0,
+            leak_paths: 0,
         });
         r.push(CaseOutcome {
             case: "case1".into(),
@@ -283,6 +298,7 @@ mod tests {
             engine: EngineKind::Reference,
             leaks: vec![],
             missed_exfiltrations: 1,
+            leak_paths: 0,
         });
         let opt = r.outcome("case1", Mode::NDroid, EngineKind::Optimized).unwrap();
         let refr = r.outcome("case1", Mode::NDroid, EngineKind::Reference).unwrap();

@@ -20,6 +20,7 @@ use ndroid_emu::shadow::ShadowState;
 use ndroid_emu::trace::TraceLog;
 use ndroid_jni::install_jni;
 use ndroid_libc::install_all;
+use ndroid_provenance::{FlowGraph, Handle, ProvEvent};
 
 /// Which analysis configuration runs the app.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,6 +99,11 @@ pub struct NDroidSystem {
     analysis: AnalysisBox,
     /// The configuration this system runs under.
     pub mode: Mode,
+    /// The provenance recorder. The same ring is shared (via cloned
+    /// handles) with the DVM, the shadow state and the kernel, so
+    /// Java-context, JNI-boundary and native events interleave in one
+    /// globally ordered stream.
+    prov: Handle,
 }
 
 impl std::fmt::Debug for NDroidSystem {
@@ -157,6 +163,8 @@ impl NDroidSystem {
         cpu.regs[13] = layout::NATIVE_STACK_TOP;
         let mut dvm = Dvm::new(program);
         dvm.taint_tracking = mode != Mode::Vanilla;
+        let prov = Handle::new(config.provenance);
+        dvm.prov = prov.clone();
         let analysis = analysis_for(&config, &mut dvm);
         let mut table = HostTable::new();
         install_all(&mut table);
@@ -206,12 +214,16 @@ impl NDroidSystem {
         let mut icache = ndroid_arm::icache::DecodeCache::new();
         // The reference engine runs with no fast path at all.
         icache.enabled = config.icache && config.engine == EngineKind::Optimized;
+        let mut shadow = ShadowState::new();
+        shadow.prov = prov.clone();
+        let mut kernel = Kernel::new();
+        kernel.prov = prov.clone();
         NDroidSystem {
             cpu,
             mem,
             dvm,
-            shadow: ShadowState::new(),
-            kernel: Kernel::new(),
+            shadow,
+            kernel,
             trace: if config.quiet {
                 TraceLog::disabled()
             } else {
@@ -223,14 +235,8 @@ impl NDroidSystem {
             icache,
             analysis,
             mode,
+            prov,
         }
-    }
-
-    /// Disables trace recording (for benchmarks).
-    #[deprecated(note = "use `SystemConfig::quiet(true)` with `NDroidSystem::from_config`")]
-    pub fn quiet(mut self) -> NDroidSystem {
-        self.trace = TraceLog::disabled();
-        self
     }
 
     /// Loads a native library's machine code into guest memory and
@@ -356,18 +362,6 @@ impl NDroidSystem {
         }
     }
 
-    /// Swaps the optimized NDroid tracer for the differential oracle's
-    /// reference engine (and disables the decoded-instruction cache,
-    /// so the run uses no fast path at all). Only meaningful on a
-    /// system booted in [`Mode::NDroid`]; call before running the app.
-    #[deprecated(
-        note = "use `SystemConfig::reference()` (engine = EngineKind::Reference) with `NDroidSystem::from_config`"
-    )]
-    pub fn use_reference_engine(&mut self) {
-        self.analysis = AnalysisBox::Reference(Box::new(ReferenceAnalysis::new()));
-        self.icache.enabled = false;
-    }
-
     /// Which tracer engine this system runs (derived from the installed
     /// analysis, so it cannot desynchronize).
     pub fn engine(&self) -> EngineKind {
@@ -400,11 +394,29 @@ impl NDroidSystem {
             stats,
             native_insns: self.native_insns(),
             bytecodes: self.bytecodes(),
+            provenance: self.prov.summary(),
         }
     }
 
-    /// The reference analysis, when [`Self::use_reference_engine`] was
-    /// applied.
+    /// The provenance recorder handle (shared with the DVM, shadow
+    /// state and kernel).
+    pub fn provenance(&self) -> &Handle {
+        &self.prov
+    }
+
+    /// A snapshot of the recorded provenance events, in emission order.
+    pub fn prov_events(&self) -> Vec<ProvEvent> {
+        self.prov.snapshot()
+    }
+
+    /// Builds the leak-path flow graph over the recorded provenance
+    /// events (empty when provenance is [`ndroid_provenance::Level::Off`]).
+    pub fn flow_graph(&self) -> FlowGraph {
+        self.prov.flow_graph()
+    }
+
+    /// The reference analysis, when the system was booted with
+    /// `SystemConfig::reference()` (engine = [`EngineKind::Reference`]).
     pub fn reference_analysis(&self) -> Option<&ReferenceAnalysis> {
         match &self.analysis {
             AnalysisBox::Reference(a) => Some(a.as_ref()),

@@ -36,15 +36,22 @@ use std::collections::HashMap;
 /// Must be called *after* the executor ran (so [`Effect::addr`] holds
 /// the effective address) but relies only on shadow state for taints,
 /// which the executor never touches.
-pub fn propagate(shadow: &mut ShadowState, effect: &Effect) {
+///
+/// Returns the union of the taints the instruction actually *wrote*
+/// (to registers, VFP registers, or shadow memory) — the provenance
+/// layer aggregates these over a basic-block run. The reference
+/// engine's `ref_propagate` mirrors this return value bit for bit, so
+/// the differential oracle covers it too.
+pub fn propagate(shadow: &mut ShadowState, effect: &Effect) -> Taint {
     if !effect.executed {
-        return;
+        return Taint::CLEAR;
     }
     shadow.ops += 1;
+    let mut written = Taint::CLEAR;
     match effect.instr {
         Instr::Dp { op, rd, rn, op2, .. } => {
             if op.is_compare() {
-                return; // flags only; no control-flow taint (§VII)
+                return Taint::CLEAR; // flags only; no control-flow taint (§VII)
             }
             let mut t = Taint::CLEAR;
             if op.uses_rn() {
@@ -60,6 +67,7 @@ pub fn propagate(shadow: &mut ShadowState, effect: &Effect) {
             }
             if rd != Reg::PC {
                 shadow.regs[rd.index()] = t;
+                written |= t;
             }
         }
         Instr::Mul { rd, rm, rs, acc, .. } => {
@@ -69,6 +77,7 @@ pub fn propagate(shadow: &mut ShadowState, effect: &Effect) {
             }
             if rd != Reg::PC {
                 shadow.regs[rd.index()] = t;
+                written |= t;
             }
         }
         Instr::Mem {
@@ -81,7 +90,9 @@ pub fn propagate(shadow: &mut ShadowState, effect: &Effect) {
             writeback,
             ..
         } => {
-            let Some(addr) = effect.addr else { return };
+            let Some(addr) = effect.addr else {
+                return Taint::CLEAR;
+            };
             let width = size.bytes();
             // Base-register writeback (`LDR Rd, [Rn, Rm]!` and every
             // post-indexed form) leaves Rn = Rn ± offset — pointer
@@ -94,6 +105,7 @@ pub fn propagate(shadow: &mut ShadowState, effect: &Effect) {
                 if let MemOffset::Reg { rm, .. } = offset {
                     if rn != Reg::PC {
                         shadow.regs[rn.index()] |= shadow.regs[rm.index()];
+                        written |= shadow.regs[rn.index()];
                     }
                 }
             }
@@ -105,10 +117,12 @@ pub fn propagate(shadow: &mut ShadowState, effect: &Effect) {
                 }
                 if rd != Reg::PC {
                     shadow.regs[rd.index()] = t;
+                    written |= t;
                 }
             } else {
                 // t(M[addr]) = t(Rd) — a SET, not a union.
                 shadow.mem.set_range(addr, width, shadow.regs[rd.index()]);
+                written |= shadow.regs[rd.index()];
             }
         }
         Instr::MemMulti {
@@ -116,7 +130,9 @@ pub fn propagate(shadow: &mut ShadowState, effect: &Effect) {
         } => {
             // Writeback here is `Rn ± 4·n` — a constant offset — so
             // t(Rn) is unchanged, unlike the register-offset case above.
-            let Some(start) = effect.addr else { return };
+            let Some(start) = effect.addr else {
+                return Taint::CLEAR;
+            };
             let base_taint = shadow.regs[rn.index()];
             for (i, r) in regs.iter().enumerate() {
                 let slot = start.wrapping_add(4 * i as u32);
@@ -124,9 +140,11 @@ pub fn propagate(shadow: &mut ShadowState, effect: &Effect) {
                     let t = shadow.mem.range_taint(slot, 4) | base_taint;
                     if r != Reg::PC {
                         shadow.regs[r.index()] = t;
+                        written |= t;
                     }
                 } else {
                     shadow.mem.set_range(slot, 4, shadow.regs[r.index()]);
+                    written |= shadow.regs[r.index()];
                 }
             }
         }
@@ -140,7 +158,7 @@ pub fn propagate(shadow: &mut ShadowState, effect: &Effect) {
             ..
         } => {
             if op == VfpOp::Cmp {
-                return;
+                return Taint::CLEAR;
             }
             let t = match prec {
                 VfpPrec::F32 => {
@@ -167,11 +185,14 @@ pub fn propagate(shadow: &mut ShadowState, effect: &Effect) {
                     shadow.vfp[((fd & 15) * 2 + 1) as usize] = t;
                 }
             }
+            written |= t;
         }
         Instr::VfpMem {
             load, prec, fd, rn, ..
         } => {
-            let Some(addr) = effect.addr else { return };
+            let Some(addr) = effect.addr else {
+                return Taint::CLEAR;
+            };
             let width = if prec == VfpPrec::F64 { 8 } else { 4 };
             if load {
                 let t = shadow.mem.range_taint(addr, width) | shadow.regs[rn.index()];
@@ -182,6 +203,7 @@ pub fn propagate(shadow: &mut ShadowState, effect: &Effect) {
                         shadow.vfp[((fd & 15) * 2 + 1) as usize] = t;
                     }
                 }
+                written |= t;
             } else {
                 let t = match prec {
                     VfpPrec::F32 => shadow.vfp[(fd & 31) as usize],
@@ -191,10 +213,12 @@ pub fn propagate(shadow: &mut ShadowState, effect: &Effect) {
                     }
                 };
                 shadow.mem.set_range(addr, width, t);
+                written |= t;
             }
         }
         Instr::VfpMrs { .. } => {}
     }
+    written
 }
 
 /// A cache of "does this PC need taint work" pre-decodings — the

@@ -138,6 +138,9 @@ pub struct Dvm {
     /// cost; non-zero for the DroidScope-like baseline, which analyzes
     /// every machine instruction of the interpreter itself.
     pub per_insn_tax: u32,
+    /// Provenance recorder shared with the native shadow state and
+    /// kernel (defaults to `Level::Off`: nothing recorded).
+    pub prov: ndroid_provenance::Handle,
 }
 
 impl Dvm {
@@ -157,6 +160,7 @@ impl Dvm {
             taint_tracking: true,
             pending_exception: None,
             per_insn_tax: 0,
+            prov: ndroid_provenance::Handle::default(),
         }
     }
 
@@ -631,55 +635,61 @@ impl Dvm {
         args: &[(u32, Taint)],
     ) -> Result<(u32, Taint), DvmError> {
         let track = self.taint_tracking;
-        let tainted_string = |dvm: &mut Dvm, s: String, t: Taint| {
+        let tainted_string = |dvm: &mut Dvm, s: String, t: Taint, api: &str| {
             let t = if track { t } else { Taint::CLEAR };
+            if t.is_tainted() && dvm.prov.is_on() {
+                dvm.prov.emit(ndroid_provenance::ProvEvent::Source {
+                    label: t.0,
+                    api: api.to_string(),
+                });
+            }
             let v = dvm.new_string(s, t);
             Ok((v, t))
         };
         match which {
             Intrinsic::GetDeviceId => {
                 let s = self.device.device_id.clone();
-                tainted_string(self, s, Taint::IMEI)
+                tainted_string(self, s, Taint::IMEI, "TelephonyManager.getDeviceId")
             }
             Intrinsic::GetSubscriberId => {
                 let s = self.device.subscriber_id.clone();
-                tainted_string(self, s, Taint::IMSI)
+                tainted_string(self, s, Taint::IMSI, "TelephonyManager.getSubscriberId")
             }
             Intrinsic::GetLine1Number => {
                 let s = self.device.line1_number.clone();
-                tainted_string(self, s, Taint::PHONE_NUMBER)
+                tainted_string(self, s, Taint::PHONE_NUMBER, "TelephonyManager.getLine1Number")
             }
             Intrinsic::GetSimSerialNumber => {
                 let s = self.device.sim_serial.clone();
-                tainted_string(self, s, Taint::ICCID)
+                tainted_string(self, s, Taint::ICCID, "TelephonyManager.getSimSerialNumber")
             }
             Intrinsic::GetNetworkOperator => {
                 let s = self.device.network_operator.clone();
-                tainted_string(self, s, Taint::IMSI)
+                tainted_string(self, s, Taint::IMSI, "TelephonyManager.getNetworkOperator")
             }
             Intrinsic::QueryContactId => {
                 let s = self.device.contact.0.clone();
-                tainted_string(self, s, Taint::CONTACTS)
+                tainted_string(self, s, Taint::CONTACTS, "ContactsProvider.query(id)")
             }
             Intrinsic::QueryContactName => {
                 let s = self.device.contact.1.clone();
-                tainted_string(self, s, Taint::CONTACTS)
+                tainted_string(self, s, Taint::CONTACTS, "ContactsProvider.query(name)")
             }
             Intrinsic::QueryContactEmail => {
                 let s = self.device.contact.2.clone();
-                tainted_string(self, s, Taint::CONTACTS)
+                tainted_string(self, s, Taint::CONTACTS, "ContactsProvider.query(email)")
             }
             Intrinsic::QueryLastSms => {
                 let s = self.device.last_sms.clone();
-                tainted_string(self, s, Taint::SMS)
+                tainted_string(self, s, Taint::SMS, "SmsProvider.query")
             }
             Intrinsic::GetLastKnownLocation => {
                 let s = self.device.location.clone();
-                tainted_string(self, s, Taint::LOCATION_LAST)
+                tainted_string(self, s, Taint::LOCATION_LAST, "LocationManager.getLastKnownLocation")
             }
             Intrinsic::GetAccountName => {
                 let s = self.device.account.clone();
-                tainted_string(self, s, Taint::ACCOUNT)
+                tainted_string(self, s, Taint::ACCOUNT, "AccountManager.getAccounts")
             }
             Intrinsic::NetworkSend | Intrinsic::SmsSend => {
                 let (dest_v, _) = args.first().copied().unwrap_or_default();
@@ -697,12 +707,21 @@ impl Dvm {
                 } else {
                     Taint::CLEAR
                 };
+                let sink = if which == Intrinsic::NetworkSend {
+                    "Socket.send"
+                } else {
+                    "SmsManager.sendTextMessage"
+                };
+                if self.prov.is_on() {
+                    self.prov.emit(ndroid_provenance::ProvEvent::Sink {
+                        sink: sink.to_string(),
+                        dest: dest.clone(),
+                        label: taint.0,
+                        ctx: ndroid_provenance::SinkCtx::Java,
+                    });
+                }
                 self.events.push(LeakEvent {
-                    sink: if which == Intrinsic::NetworkSend {
-                        "Socket.send".to_string()
-                    } else {
-                        "SmsManager.sendTextMessage".to_string()
-                    },
+                    sink: sink.to_string(),
                     dest,
                     data,
                     taint,
@@ -728,6 +747,14 @@ impl Dvm {
                 } else {
                     Taint::CLEAR
                 };
+                if self.prov.is_on() {
+                    self.prov.emit(ndroid_provenance::ProvEvent::Sink {
+                        sink: "HttpClient.post".to_string(),
+                        dest: dest.clone(),
+                        label: taint.0,
+                        ctx: ndroid_provenance::SinkCtx::Java,
+                    });
+                }
                 self.events.push(LeakEvent {
                     sink: "HttpClient.post".to_string(),
                     dest,

@@ -109,6 +109,18 @@ impl Taint {
             .map(|(_, name)| *name)
             .collect()
     }
+
+    /// Human-readable name of a *single* label bit (as raw `u32`), for
+    /// rendering provenance leak paths and DOT edge labels. Unknown or
+    /// multi-bit values fall back to hex.
+    pub fn bit_name(bit: u32) -> String {
+        if bit.count_ones() == 1 {
+            if let Some(name) = Taint(bit).source_names().first() {
+                return (*name).to_string();
+            }
+        }
+        format!("{bit:#x}")
+    }
 }
 
 impl BitOr for Taint {

@@ -110,6 +110,10 @@ pub struct Kernel {
     pub heap: NativeHeap,
     /// Count of kernel calls serviced (for overhead accounting).
     pub syscalls: u64,
+    /// Provenance recorder shared with the shadow state and the DVM;
+    /// every [`LeakEvent`] push mirrors a `ProvEvent::Sink` so leak
+    /// paths end exactly where the pinned leak reports do.
+    pub prov: ndroid_provenance::Handle,
 }
 
 impl Kernel {
@@ -137,6 +141,17 @@ impl Kernel {
             .get_mut(fd as usize)
             .and_then(|o| o.as_mut())
             .ok_or_else(|| EmuError::Kernel(format!("bad fd {fd}")))
+    }
+
+    fn prov_sink(&self, sink: &str, dest: &str, taint: Taint) {
+        if self.prov.is_on() {
+            self.prov.emit(ndroid_provenance::ProvEvent::Sink {
+                sink: sink.to_string(),
+                dest: dest.to_string(),
+                label: taint.0,
+                ctx: ndroid_provenance::SinkCtx::Native,
+            });
+        }
     }
 
     /// `open(2)` — `create` truncates/creates; otherwise the file must
@@ -217,6 +232,7 @@ impl Kernel {
                 }
                 let path = path.clone();
                 self.fs.entry(path.clone()).or_default().extend_from_slice(data);
+                self.prov_sink("write", &path, taint);
                 self.events.push(LeakEvent {
                     sink: "write".to_string(),
                     dest: path,
@@ -229,6 +245,7 @@ impl Kernel {
             FdObject::Socket { dest } => {
                 let dest = dest.clone().unwrap_or_else(|| "<unconnected>".to_string());
                 self.network_log.push((dest.clone(), data.to_vec(), taint));
+                self.prov_sink("send", &dest, taint);
                 self.events.push(LeakEvent {
                     sink: "send".to_string(),
                     dest,
@@ -274,6 +291,7 @@ impl Kernel {
             FdObject::Socket { dest: Some(d) } => {
                 let dest = d.clone();
                 self.network_log.push((dest.clone(), data.to_vec(), taint));
+                self.prov_sink("send", &dest, taint);
                 self.events.push(LeakEvent {
                     sink: "send".to_string(),
                     dest,
@@ -308,6 +326,7 @@ impl Kernel {
             FdObject::Socket { .. } => {
                 self.network_log
                     .push((dest.to_string(), data.to_vec(), taint));
+                self.prov_sink("sendto", dest, taint);
                 self.events.push(LeakEvent {
                     sink: "sendto".to_string(),
                     dest: dest.to_string(),

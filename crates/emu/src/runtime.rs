@@ -361,6 +361,16 @@ pub fn run_native_method(
         format!("dvmCallJNIMethod: {class_name}.{name} shorty={shorty} entry={entry:#x}"),
     );
 
+    if ctx.shadow.prov.is_on() {
+        let arg_taint = taints
+            .iter()
+            .fold(Taint::CLEAR, |acc, t| acc | *t);
+        ctx.shadow.prov.emit(ndroid_provenance::ProvEvent::JniEntry {
+            method: format!("{class_name}.{name}"),
+            label: arg_taint.0,
+        });
+    }
+
     let taints_vec = taints.to_vec();
     let method_copy = method;
     let native_args_for_pre = native_args.clone();
@@ -398,6 +408,13 @@ pub fn run_native_method(
     } else {
         ret
     };
+
+    if ctx.shadow.prov.is_on() {
+        ctx.shadow.prov.emit(ndroid_provenance::ProvEvent::JniExit {
+            method: format!("{class_name}.{name}"),
+            label: native_taint.0,
+        });
+    }
 
     Ok((dalvik_ret, native_taint))
 }

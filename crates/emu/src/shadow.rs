@@ -533,6 +533,9 @@ pub struct ShadowState {
     /// Count of taint-propagation operations performed (for overhead
     /// accounting in the benchmarks).
     pub ops: u64,
+    /// Provenance recorder shared with the DVM and the kernel model
+    /// (defaults to `Level::Off`: no ring, nothing recorded).
+    pub prov: ndroid_provenance::Handle,
 }
 
 impl ShadowState {

@@ -2,12 +2,14 @@
 //! creation, Table III) and element accessors.
 
 use crate::helpers::{
-    arg, arg_taint, deref, dvm_err, new_local_ref, object_taint, set_ret_taint, tracking,
+    arg, arg_taint, deref, dvm_err, new_local_ref, object_taint, prov_transfer, set_ret_taint,
+    tracking,
 };
 use crate::registry::dvm_addr;
 use ndroid_dvm::{ArrayKind, Dvm, HeapObject, Taint};
 use ndroid_emu::runtime::NativeCtx;
 use ndroid_emu::EmuError;
+use ndroid_provenance::Direction;
 
 fn alloc_array(
     ctx: &mut NativeCtx<'_>,
@@ -100,6 +102,7 @@ pub fn get_byte_array_elements(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError>
     if is_copy != 0 {
         ctx.mem.write_u8(is_copy, 1);
     }
+    prov_transfer(ctx, "GetByteArrayElements", taint, Direction::JavaToNative);
     set_ret_taint(ctx, taint);
     Ok(buf)
 }
@@ -136,6 +139,7 @@ pub fn release_byte_array_elements(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuEr
             ctx.shadow
                 .taint_object(ndroid_dvm::IndirectRef(jarr), buf_taint);
         }
+        prov_transfer(ctx, "ReleaseByteArrayElements", buf_taint, Direction::NativeToJava);
     }
     if let Some(size) = ctx.kernel.heap.size_of(buf) {
         if tracking(ctx) {
@@ -176,6 +180,7 @@ pub fn get_int_array_elements(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> 
     if is_copy != 0 {
         ctx.mem.write_u8(is_copy, 1);
     }
+    prov_transfer(ctx, "GetIntArrayElements", taint, Direction::JavaToNative);
     set_ret_taint(ctx, taint);
     Ok(buf)
 }
@@ -209,6 +214,7 @@ pub fn release_int_array_elements(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuErr
             ctx.shadow
                 .taint_object(ndroid_dvm::IndirectRef(jarr), buf_taint);
         }
+        prov_transfer(ctx, "ReleaseByteArrayElements", buf_taint, Direction::NativeToJava);
     }
     if let Some(size) = ctx.kernel.heap.size_of(buf) {
         if tracking(ctx) {
@@ -241,6 +247,7 @@ pub fn get_int_array_region(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
     if tracking(ctx) {
         let t = arr_taint | object_taint(ctx, jarr);
         ctx.shadow.mem.set_range(buf, slice.len() as u32 * 4, t);
+        prov_transfer(ctx, "GetIntArrayRegion", t, Direction::JavaToNative);
     }
     set_ret_taint(ctx, Taint::CLEAR);
     Ok(0)
@@ -271,6 +278,7 @@ pub fn set_int_array_region(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
         ctx.shadow
             .taint_object(ndroid_dvm::IndirectRef(jarr), buf_taint);
     }
+    prov_transfer(ctx, "SetIntArrayRegion", buf_taint, Direction::NativeToJava);
     set_ret_taint(ctx, Taint::CLEAR);
     Ok(0)
 }
@@ -296,6 +304,7 @@ pub fn get_byte_array_region(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
     if tracking(ctx) {
         let t = arr_taint | object_taint(ctx, jarr);
         ctx.shadow.mem.set_range(buf, slice.len() as u32, t);
+        prov_transfer(ctx, "GetByteArrayRegion", t, Direction::JavaToNative);
     }
     set_ret_taint(ctx, Taint::CLEAR);
     Ok(0)
@@ -324,6 +333,7 @@ pub fn set_byte_array_region(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
         ctx.shadow
             .taint_object(ndroid_dvm::IndirectRef(jarr), buf_taint);
     }
+    prov_transfer(ctx, "SetByteArrayRegion", buf_taint, Direction::NativeToJava);
     set_ret_taint(ctx, Taint::CLEAR);
     Ok(0)
 }

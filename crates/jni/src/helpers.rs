@@ -24,6 +24,24 @@ pub fn set_ret_taint(ctx: &mut NativeCtx<'_>, taint: Taint) {
     ctx.shadow.regs[0] = if tracking(ctx) { taint } else { Taint::CLEAR };
 }
 
+/// Records a Java↔native provenance transfer for a JNI accessor.
+/// No-op when the recorder is off or the moved data is clean, so the
+/// hot path pays one branch.
+pub fn prov_transfer(
+    ctx: &NativeCtx<'_>,
+    api: &str,
+    taint: Taint,
+    direction: ndroid_provenance::Direction,
+) {
+    if taint.is_tainted() && ctx.shadow.prov.is_on() {
+        ctx.shadow.prov.emit(ndroid_provenance::ProvEvent::Transfer {
+            api: api.to_string(),
+            label: taint.0,
+            direction,
+        });
+    }
+}
+
 /// Encodes a `jclass` handle.
 pub fn jclass(id: ClassId) -> u32 {
     0xC1A5_0000 | id.0

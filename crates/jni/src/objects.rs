@@ -3,12 +3,13 @@
 
 use crate::helpers::{
     arg, arg_taint, class_of, deref, dvm_err, field_of, jclass, jfield, jmethod, new_local_ref,
-    object_taint, set_ret_taint, tracking,
+    object_taint, prov_transfer, set_ret_taint, tracking,
 };
 use crate::registry::dvm_addr;
 use ndroid_dvm::{Dvm, HeapObject, Taint};
 use ndroid_emu::runtime::NativeCtx;
 use ndroid_emu::EmuError;
+use ndroid_provenance::Direction;
 
 /// `jclass FindClass(const char *name)` — accepts both `a/b/C` and
 /// `La/b/C;` spellings.
@@ -95,6 +96,7 @@ pub fn get_field(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
         }
     };
     let t = if tracking(ctx) { ftaint } else { Taint::CLEAR };
+    prov_transfer(ctx, "GetField", t, Direction::JavaToNative);
     set_ret_taint(ctx, t);
     Ok(value)
 }
@@ -132,6 +134,7 @@ pub fn get_object_field(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
     } else {
         Taint::CLEAR
     };
+    prov_transfer(ctx, "GetObjectField", t, Direction::JavaToNative);
     let r = new_local_ref(ctx, target, t);
     set_ret_taint(ctx, t);
     Ok(r)
@@ -157,6 +160,7 @@ pub fn set_field(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
             taints[f.index as usize] = t;
         }
     }
+    prov_transfer(ctx, "SetField", t, Direction::NativeToJava);
     set_ret_taint(ctx, Taint::CLEAR);
     Ok(0)
 }
@@ -187,6 +191,7 @@ pub fn set_object_field(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
             taints[f.index as usize] = t;
         }
     }
+    prov_transfer(ctx, "SetObjectField", t, Direction::NativeToJava);
     set_ret_taint(ctx, Taint::CLEAR);
     Ok(0)
 }

@@ -4,12 +4,13 @@
 //! `TrustCallHandler`s appear in the paper's Figs. 7 and 8.
 
 use crate::helpers::{
-    arg, deref, dvm_err, new_local_ref, object_taint, set_ret_taint, tracking,
+    arg, deref, dvm_err, new_local_ref, object_taint, prov_transfer, set_ret_taint, tracking,
 };
 use crate::registry::dvm_addr;
 use ndroid_dvm::Taint;
 use ndroid_emu::runtime::NativeCtx;
 use ndroid_emu::EmuError;
+use ndroid_provenance::Direction;
 
 /// `jstring NewStringUTF(const char *bytes)`
 ///
@@ -57,6 +58,7 @@ pub fn new_string_utf(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
         ctx.trace.push("hook", format!("NewStringUTF return {r:#x}"));
     }
     ctx.trace.push("hook", "NewStringUTF End".to_string());
+    prov_transfer(ctx, "NewStringUTF", taint, Direction::NativeToJava);
     set_ret_taint(ctx, taint);
     Ok(r)
 }
@@ -83,6 +85,7 @@ pub fn new_string(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
         .on_branch(ctx.shadow, maf + 4, dvm_addr("NewString") + 0x14);
     ctx.trace.push("hook", "NewString End".to_string());
     let r = new_local_ref(ctx, id, taint);
+    prov_transfer(ctx, "NewString", taint, Direction::NativeToJava);
     set_ret_taint(ctx, taint);
     Ok(r)
 }
@@ -127,6 +130,7 @@ pub fn get_string_utf_chars(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
     }
     ctx.trace
         .push("hook", "TrustCallHandler[GetStringUTFChars] end".to_string());
+    prov_transfer(ctx, "GetStringUTFChars", taint, Direction::JavaToNative);
     set_ret_taint(ctx, taint);
     Ok(buf)
 }
@@ -170,6 +174,7 @@ pub fn get_string_chars(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
     if is_copy != 0 {
         ctx.mem.write_u8(is_copy, 1);
     }
+    prov_transfer(ctx, "GetStringChars", taint, Direction::JavaToNative);
     set_ret_taint(ctx, taint);
     Ok(buf)
 }

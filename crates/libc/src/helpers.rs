@@ -37,6 +37,18 @@ pub fn set_ret_taint(ctx: &mut NativeCtx<'_>, taint: Taint) {
     ctx.shadow.regs[0] = if tracking(ctx) { taint } else { Taint::CLEAR };
 }
 
+/// Records a libc-model provenance event: `func` moved `taint`-labeled
+/// data. No-op when the recorder is off or the data is clean, so the
+/// untraced path pays one branch.
+pub fn prov_libc(ctx: &NativeCtx<'_>, func: &str, taint: Taint) {
+    if taint.is_tainted() && ctx.shadow.prov.is_on() {
+        ctx.shadow.prov.emit(ndroid_provenance::ProvEvent::Libc {
+            func: func.to_string(),
+            label: taint.0,
+        });
+    }
+}
+
 /// Also taint R1 (for 64-bit / double returns in softfp).
 pub fn set_ret_taint64(ctx: &mut NativeCtx<'_>, taint: Taint) {
     let t = if tracking(ctx) { taint } else { Taint::CLEAR };

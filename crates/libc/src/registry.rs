@@ -77,6 +77,32 @@ pub fn is_sink(name: &str) -> bool {
 
 type Impl = fn(&mut NativeCtx<'_>) -> Result<u32, EmuError>;
 
+/// Models that record their own provenance event (the copy family,
+/// whose moved taint never reaches the return register), plus the
+/// sinks (which surface as `Sink` events at the kernel instead).
+const SELF_RECORDING: &[&str] = &[
+    "memcpy", "memmove", "memset", "strcpy", "strncpy", "strcat", "strdup", "sscanf", "sprintf",
+    "snprintf", "vsprintf", "vsnprintf",
+];
+
+/// Central provenance hook for every registered model: when a call
+/// returns with a tainted R0, the summary "`name` propagated label L"
+/// is recorded. This catches the whole read family (`strlen`, `atoi`,
+/// `strtoul`, `strcmp`, the libm parsers, ...) without touching each
+/// model body.
+fn record_model_ret(ctx: &NativeCtx<'_>, name: &'static str) {
+    if SELF_RECORDING.contains(&name) || is_sink(name) {
+        return;
+    }
+    let t = ctx.shadow.regs[0];
+    if t.is_tainted() && ctx.shadow.prov.is_on() {
+        ctx.shadow.prov.emit(ndroid_provenance::ProvEvent::Libc {
+            func: name.to_string(),
+            label: t.0,
+        });
+    }
+}
+
 fn libc_impl(name: &str) -> Option<Impl> {
     Some(match name {
         "memcpy" => string_fns::memcpy,
@@ -175,7 +201,13 @@ pub fn install_libc(table: &mut HostTable) {
         let addr = LIBC_BASE + STRIDE * i as u32;
         let name: &'static str = name;
         match libc_impl(name) {
-            Some(f) => table.register(addr, name, move |ctx, _t| f(ctx)),
+            Some(f) => table.register(addr, name, move |ctx, _t| {
+                let r = f(ctx);
+                if r.is_ok() {
+                    record_model_ret(ctx, name);
+                }
+                r
+            }),
             None => {
                 let stub = syscalls::observed_stub(name);
                 table.register(addr, name, move |ctx, _t| stub(ctx));
@@ -190,7 +222,13 @@ pub fn install_libm(table: &mut HostTable) {
         let addr = LIBM_BASE + STRIDE * i as u32;
         let name: &'static str = name;
         match libm_impl(name) {
-            Some(f) => table.register(addr, name, move |ctx, _t| f(ctx)),
+            Some(f) => table.register(addr, name, move |ctx, _t| {
+                let r = f(ctx);
+                if r.is_ok() {
+                    record_model_ret(ctx, name);
+                }
+                r
+            }),
             None => {
                 let stub = syscalls::observed_stub(name);
                 table.register(addr, name, move |ctx, _t| stub(ctx));

@@ -4,7 +4,7 @@
 //! Fig. 8's `SinkHandler[fprintf]`).
 
 use crate::format::{format_guest, write_formatted};
-use crate::helpers::{arg, cstr, set_ret_taint, tracking, ArgSource, VaList, VarArgs};
+use crate::helpers::{arg, cstr, prov_libc, set_ret_taint, tracking, ArgSource, VaList, VarArgs};
 use ndroid_dvm::Taint;
 use ndroid_emu::runtime::NativeCtx;
 use ndroid_emu::EmuError;
@@ -161,6 +161,7 @@ pub fn sprintf(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
     let mut args = ArgSource::Var(VarArgs::new(2));
     let (bytes, taints) = format_guest(ctx, arg(ctx, 1), &mut args);
     let n = write_formatted(ctx, dst, &bytes, &taints, None);
+    prov_libc(ctx, "sprintf", taints.iter().fold(Taint::CLEAR, |acc, t| acc.union(*t)));
     set_ret_taint(ctx, Taint::CLEAR);
     Ok(n)
 }
@@ -172,6 +173,7 @@ pub fn snprintf(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
     let mut args = ArgSource::Var(VarArgs::new(3));
     let (bytes, taints) = format_guest(ctx, arg(ctx, 2), &mut args);
     let n = write_formatted(ctx, dst, &bytes, &taints, Some(size));
+    prov_libc(ctx, "snprintf", taints.iter().fold(Taint::CLEAR, |acc, t| acc.union(*t)));
     set_ret_taint(ctx, Taint::CLEAR);
     Ok(n)
 }
@@ -182,6 +184,7 @@ pub fn vsprintf(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
     let mut args = ArgSource::List(VaList::new(arg(ctx, 2)));
     let (bytes, taints) = format_guest(ctx, arg(ctx, 1), &mut args);
     let n = write_formatted(ctx, dst, &bytes, &taints, None);
+    prov_libc(ctx, "vsprintf", taints.iter().fold(Taint::CLEAR, |acc, t| acc.union(*t)));
     set_ret_taint(ctx, Taint::CLEAR);
     Ok(n)
 }
@@ -193,6 +196,7 @@ pub fn vsnprintf(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
     let mut args = ArgSource::List(VaList::new(arg(ctx, 3)));
     let (bytes, taints) = format_guest(ctx, arg(ctx, 2), &mut args);
     let n = write_formatted(ctx, dst, &bytes, &taints, Some(size));
+    prov_libc(ctx, "vsnprintf", taints.iter().fold(Taint::CLEAR, |acc, t| acc.union(*t)));
     set_ret_taint(ctx, Taint::CLEAR);
     Ok(n)
 }

@@ -6,7 +6,7 @@
 //! the real data operation on guest memory and mirrors it in the taint
 //! map when the analysis tracks native taint.
 
-use crate::helpers::{arg, arg_taint, cstr, cstr_taint, set_ret_taint, tracking};
+use crate::helpers::{arg, arg_taint, cstr, cstr_taint, prov_libc, set_ret_taint, tracking};
 use ndroid_dvm::Taint;
 use ndroid_emu::runtime::NativeCtx;
 use ndroid_emu::EmuError;
@@ -19,6 +19,7 @@ pub fn memcpy(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
     if tracking(ctx) {
         ctx.shadow.mem.copy_range(dst, src, n);
         ctx.shadow.ops += n as u64;
+        prov_libc(ctx, "memcpy", ctx.shadow.mem.range_taint(src, n));
     }
     set_ret_taint(ctx, arg_taint(ctx, 0));
     Ok(dst)
@@ -38,6 +39,7 @@ pub fn memset(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
     if tracking(ctx) {
         let t = arg_taint(ctx, 1);
         ctx.shadow.mem.set_range(dst, n, t);
+        prov_libc(ctx, "memset", t);
     }
     set_ret_taint(ctx, arg_taint(ctx, 0));
     Ok(dst)
@@ -123,6 +125,7 @@ pub fn strcpy(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
     ctx.mem.write_cstr(dst, &s);
     if tracking(ctx) {
         ctx.shadow.mem.copy_range(dst, src, s.len() as u32 + 1);
+        prov_libc(ctx, "strcpy", ctx.shadow.mem.range_taint(src, s.len().max(1) as u32));
     }
     set_ret_taint(ctx, arg_taint(ctx, 0));
     Ok(dst)
@@ -142,6 +145,7 @@ pub fn strncpy(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
         ctx.shadow
             .mem
             .clear_range(dst + s.len() as u32, n - s.len() as u32);
+        prov_libc(ctx, "strncpy", ctx.shadow.mem.range_taint(src, s.len().max(1) as u32));
     }
     set_ret_taint(ctx, arg_taint(ctx, 0));
     Ok(dst)
@@ -157,6 +161,7 @@ pub fn strcat(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
         ctx.shadow
             .mem
             .copy_range(dst + dlen, src, s.len() as u32 + 1);
+        prov_libc(ctx, "strcat", ctx.shadow.mem.range_taint(src, s.len().max(1) as u32));
     }
     set_ret_taint(ctx, arg_taint(ctx, 0));
     Ok(dst)
@@ -226,6 +231,7 @@ pub fn strdup(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
     ctx.mem.write_cstr(dst, &s);
     if tracking(ctx) {
         ctx.shadow.mem.copy_range(dst, src, s.len() as u32 + 1);
+        prov_libc(ctx, "strdup", ctx.shadow.mem.range_taint(src, s.len().max(1) as u32));
     }
     set_ret_taint(ctx, arg_taint(ctx, 0));
     Ok(dst)
@@ -340,6 +346,7 @@ pub fn sscanf(ctx: &mut NativeCtx<'_>) -> Result<u32, EmuError> {
             i += 1;
         }
     }
+    prov_libc(ctx, "sscanf", src_taint);
     set_ret_taint(ctx, Taint::CLEAR);
     Ok(converted)
 }

@@ -1,0 +1,777 @@
+#![warn(missing_docs)]
+
+//! # ndroid-provenance
+//!
+//! The taint **provenance** subsystem: a compact event vocabulary for
+//! taint propagation ([`ProvEvent`]), a bounded ring recorder with an
+//! exact drop counter ([`Ring`] behind a shared [`Handle`]), and a
+//! [`FlowGraph`] builder that stitches the recorded events into
+//! per-label chains supporting `leak_paths()` queries plus DOT/JSON
+//! export.
+//!
+//! The paper's NDroid does not merely flag leaks — its output is a
+//! propagation log from which an analyst reconstructs *how* tainted
+//! data flowed from a source, across the JNI boundary, through native
+//! code, to a sink (the §V case studies of the paper walk exactly such
+//! paths). This crate is that log, bounded: native propagation is
+//! aggregated per basic-block run (one [`ProvEvent::NativeBlock`] per
+//! run, never one event per instruction), the ring never grows past
+//! its capacity (oldest events are evicted and counted, never a
+//! panic), and recording is gated by [`Level`] so `Off` costs nothing
+//! on the hot path.
+//!
+//! The crate is deliberately dependency-free: labels are raw `u32`
+//! TaintDroid bitmasks, so every layer of the pipeline (DVM, emulator,
+//! JNI hooks, libc models, tracer) can emit events without cycles in
+//! the workspace graph.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// How much provenance is recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Level {
+    /// Record nothing. The hot path sees only an `Option` that is
+    /// `None` — zero-cost, verified by `BENCH_provenance`.
+    #[default]
+    Off,
+    /// Boundary events only: sources, JNI crossings, Java↔native
+    /// transfers, libc model summaries, sinks.
+    Summary,
+    /// Everything in `Summary` plus per-basic-block-run native
+    /// propagation summaries from the instruction tracer.
+    Full,
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Level::Off => "off",
+            Level::Summary => "summary",
+            Level::Full => "full",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Which way a Java↔native transfer moved data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Java object data copied out into native memory
+    /// (`GetStringUTFChars`, `Get<Type>ArrayRegion`, field reads…).
+    JavaToNative,
+    /// Native data materialized as a Java object (`NewStringUTF`,
+    /// `Set<Type>ArrayRegion`, field writes…).
+    NativeToJava,
+}
+
+impl Direction {
+    fn tag(self) -> &'static str {
+        match self {
+            Direction::JavaToNative => "java->native",
+            Direction::NativeToJava => "native->java",
+        }
+    }
+}
+
+/// The execution context a sink fired in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SinkCtx {
+    /// A framework sink invoked from interpreted bytecode.
+    Java,
+    /// A libc/syscall sink invoked from native code.
+    Native,
+}
+
+impl SinkCtx {
+    fn tag(self) -> &'static str {
+        match self {
+            SinkCtx::Java => "java",
+            SinkCtx::Native => "native",
+        }
+    }
+}
+
+/// One taint-propagation event. Labels are raw TaintDroid 32-bit
+/// masks (`ndroid_dvm::Taint.0`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ProvEvent {
+    /// Taint introduced at a framework source (`getDeviceId`,
+    /// contacts/SMS queries, …).
+    Source {
+        /// The introduced label.
+        label: u32,
+        /// The source API name.
+        api: String,
+    },
+    /// A Java→native JNI crossing (`dvmCallJNIMethod`).
+    JniEntry {
+        /// `Class.method` of the native method entered.
+        method: String,
+        /// Union of the argument taints crossing the boundary.
+        label: u32,
+    },
+    /// The matching native→Java return crossing.
+    JniExit {
+        /// `Class.method` of the native method returning.
+        method: String,
+        /// The return value's taint (shadow R0 ∪ object-map taint).
+        label: u32,
+    },
+    /// A Java↔native data transfer through a JNI accessor
+    /// (strings, arrays, fields, object construction).
+    Transfer {
+        /// The JNI API that moved the data.
+        api: String,
+        /// The transferred taint.
+        label: u32,
+        /// Which way the data moved.
+        direction: Direction,
+    },
+    /// A libc model propagated taint (`TrustCallPolicy` summary —
+    /// one event per modeled call, not per byte).
+    Libc {
+        /// The modeled function.
+        func: String,
+        /// The propagated taint.
+        label: u32,
+    },
+    /// Native instruction-tracer propagation, aggregated over one
+    /// basic-block run (between branch events): the union of taints
+    /// the block's instructions wrote, never per-instruction.
+    NativeBlock {
+        /// PC of the first taint-writing instruction in the run.
+        start_pc: u32,
+        /// Number of taint-writing instructions in the run.
+        insns: u32,
+        /// Union of the written taints.
+        label: u32,
+    },
+    /// A sink invocation.
+    Sink {
+        /// Sink name (`send`, `write`, `HttpClient.post`, …).
+        sink: String,
+        /// Destination (host, file path, phone number…).
+        dest: String,
+        /// Taint of the data reaching the sink.
+        label: u32,
+        /// The execution context.
+        ctx: SinkCtx,
+    },
+}
+
+impl ProvEvent {
+    /// The taint label this event carries.
+    pub fn label(&self) -> u32 {
+        match self {
+            ProvEvent::Source { label, .. }
+            | ProvEvent::JniEntry { label, .. }
+            | ProvEvent::JniExit { label, .. }
+            | ProvEvent::Transfer { label, .. }
+            | ProvEvent::Libc { label, .. }
+            | ProvEvent::NativeBlock { label, .. }
+            | ProvEvent::Sink { label, .. } => *label,
+        }
+    }
+
+    /// Whether this is a [`ProvEvent::Sink`].
+    pub fn is_sink(&self) -> bool {
+        matches!(self, ProvEvent::Sink { .. })
+    }
+
+    /// Canonical one-line serialization — the basis of DOT/JSON node
+    /// labels and the [`FlowGraph::fingerprint`]. Deterministic: no
+    /// addresses, no timing, no host state.
+    pub fn canonical(&self) -> String {
+        match self {
+            ProvEvent::Source { label, api } => format!("source {api} {label:#x}"),
+            ProvEvent::JniEntry { method, label } => format!("jni-entry {method} {label:#x}"),
+            ProvEvent::JniExit { method, label } => format!("jni-exit {method} {label:#x}"),
+            ProvEvent::Transfer {
+                api,
+                label,
+                direction,
+            } => format!("transfer {api} {} {label:#x}", direction.tag()),
+            ProvEvent::Libc { func, label } => format!("libc {func} {label:#x}"),
+            ProvEvent::NativeBlock {
+                start_pc,
+                insns,
+                label,
+            } => format!("native-block {start_pc:#x} x{insns} {label:#x}"),
+            ProvEvent::Sink {
+                sink,
+                dest,
+                label,
+                ctx,
+            } => format!("sink {sink}({dest}) [{}] {label:#x}", ctx.tag()),
+        }
+    }
+}
+
+/// Default ring capacity: bounded memory even on corpus/monkey runs
+/// (~64 Ki events), yet far above what the gallery cases emit.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// A bounded event ring with an exact drop counter. Eviction is
+/// oldest-first; no code path panics (a zero-capacity ring simply
+/// drops everything it is offered).
+#[derive(Debug, Clone, Default)]
+pub struct Ring {
+    buf: VecDeque<ProvEvent>,
+    cap: usize,
+    dropped: u64,
+    recorded: u64,
+}
+
+impl Ring {
+    /// An empty ring holding at most `cap` events.
+    pub fn new(cap: usize) -> Ring {
+        Ring {
+            // Do not pre-reserve `cap`: rings are sized for the worst
+            // case but most runs stay small.
+            buf: VecDeque::new(),
+            cap,
+            dropped: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest (and counting the drop)
+    /// when full.
+    pub fn push(&mut self, ev: ProvEvent) {
+        self.recorded += 1;
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() >= self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &ProvEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events offered (held + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted or refused — exact.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+/// A shared, cheaply clonable recorder handle. The [`Level`] lives
+/// *outside* the cell, so the `Off` check on the hot path is a plain
+/// field read of `None` — no borrow, no allocation, no branch into
+/// recording code.
+///
+/// Clones share the same ring: the DVM, the shadow state and the
+/// kernel each hold one, producing a single globally ordered event
+/// stream per analyzed system. Interior mutability is a single-owner
+/// `RefCell` (each analyzed system is single-threaded; the batch farm
+/// builds one system per job inside its worker).
+#[derive(Debug, Clone, Default)]
+pub struct Handle {
+    level: Level,
+    ring: Option<Rc<RefCell<Ring>>>,
+}
+
+impl Handle {
+    /// A recorder at `level` with the default ring capacity
+    /// ([`DEFAULT_CAPACITY`]); `Off` carries no ring at all.
+    pub fn new(level: Level) -> Handle {
+        Handle::with_capacity(level, DEFAULT_CAPACITY)
+    }
+
+    /// A recorder at `level` with an explicit ring capacity.
+    pub fn with_capacity(level: Level, cap: usize) -> Handle {
+        let ring = match level {
+            Level::Off => None,
+            _ => Some(Rc::new(RefCell::new(Ring::new(cap)))),
+        };
+        Handle { level, ring }
+    }
+
+    /// The recording level.
+    #[inline]
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Whether anything is recorded at all.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// Whether native basic-block summaries are recorded.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.level == Level::Full
+    }
+
+    /// Records an event (no-op when `Off`).
+    #[inline]
+    pub fn emit(&self, ev: ProvEvent) {
+        if let Some(ring) = &self.ring {
+            ring.borrow_mut().push(ev);
+        }
+    }
+
+    /// A snapshot of the held events, oldest first.
+    pub fn snapshot(&self) -> Vec<ProvEvent> {
+        match &self.ring {
+            Some(ring) => ring.borrow().events().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total events offered to the ring.
+    pub fn recorded(&self) -> u64 {
+        self.ring.as_ref().map_or(0, |r| r.borrow().recorded())
+    }
+
+    /// Events dropped by the ring (exact).
+    pub fn dropped(&self) -> u64 {
+        self.ring.as_ref().map_or(0, |r| r.borrow().dropped())
+    }
+}
+
+/// One reconstructed leak path: the chain of events that carried a
+/// single label bit from its introduction to a sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeakPath {
+    /// The single label bit this path tracks.
+    pub label: u32,
+    /// Indices into [`FlowGraph::events`], source-side first, the sink
+    /// last.
+    pub nodes: Vec<usize>,
+}
+
+/// The per-label flow DAG stitched from a recorded event stream.
+///
+/// For every label *bit*, events that carry the bit form a chain in
+/// recording order (event N carrying the bit has an edge from the
+/// previous event that carried it). The recording order is the
+/// propagation order — the emitters sit at the points where taint
+/// actually moves — so walking a chain backward from a sink
+/// reconstructs source → JNI → native → sink.
+#[derive(Debug, Clone, Default)]
+pub struct FlowGraph {
+    events: Vec<ProvEvent>,
+    /// `(from, to, bit)` edges, in recording order.
+    edges: Vec<(usize, usize, u32)>,
+    /// Predecessor of `node` on the chain for `bit`.
+    pred: HashMap<(usize, u32), usize>,
+}
+
+impl FlowGraph {
+    /// Builds the graph from an event stream (oldest first).
+    pub fn build(events: &[ProvEvent]) -> FlowGraph {
+        let mut g = FlowGraph {
+            events: events.to_vec(),
+            edges: Vec::new(),
+            pred: HashMap::new(),
+        };
+        let mut last: HashMap<u32, usize> = HashMap::new();
+        for (i, ev) in events.iter().enumerate() {
+            let mut label = ev.label();
+            while label != 0 {
+                let bit = label & label.wrapping_neg();
+                label &= label - 1;
+                if let Some(&from) = last.get(&bit) {
+                    g.edges.push((from, i, bit));
+                    g.pred.insert((i, bit), from);
+                }
+                last.insert(bit, i);
+            }
+        }
+        g
+    }
+
+    /// The events the graph was built from.
+    pub fn events(&self) -> &[ProvEvent] {
+        &self.events
+    }
+
+    /// The `(from, to, bit)` edges in recording order.
+    pub fn edges(&self) -> &[(usize, usize, u32)] {
+        &self.edges
+    }
+
+    /// Indices of every sink event.
+    pub fn sinks(&self) -> Vec<usize> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_sink())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The leak paths terminating at the sink event `sink` — one per
+    /// label bit the sink saw, each walked back through that bit's
+    /// chain to its earliest recorded carrier. Empty when the sink saw
+    /// clean data (or `sink` is not a sink event).
+    pub fn leak_paths(&self, sink: usize) -> Vec<LeakPath> {
+        let Some(ev) = self.events.get(sink) else {
+            return Vec::new();
+        };
+        if !ev.is_sink() {
+            return Vec::new();
+        }
+        let mut paths = Vec::new();
+        let mut label = ev.label();
+        while label != 0 {
+            let bit = label & label.wrapping_neg();
+            label &= label - 1;
+            let mut nodes = vec![sink];
+            let mut cur = sink;
+            while let Some(&p) = self.pred.get(&(cur, bit)) {
+                nodes.push(p);
+                cur = p;
+            }
+            nodes.reverse();
+            paths.push(LeakPath { label: bit, nodes });
+        }
+        paths
+    }
+
+    /// Total leak-path count across every sink.
+    pub fn total_leak_paths(&self) -> usize {
+        self.sinks()
+            .into_iter()
+            .map(|s| self.leak_paths(s).len())
+            .sum()
+    }
+
+    /// Renders one leak path as a ` -> `-joined line, e.g.
+    /// `0x2: source contacts.query 0x2 -> jni-entry ... -> sink send(host)`.
+    pub fn render_path(&self, path: &LeakPath) -> String {
+        let chain: Vec<String> = path
+            .nodes
+            .iter()
+            .map(|&i| self.events[i].canonical())
+            .collect();
+        format!("{:#x}: {}", path.label, chain.join(" -> "))
+    }
+
+    /// DOT export with hex edge labels.
+    pub fn to_dot(&self) -> String {
+        self.to_dot_with(|bit| format!("{bit:#x}"))
+    }
+
+    /// DOT export; `namer` renders a label bit (e.g. via
+    /// `Taint::source_names`).
+    pub fn to_dot_with(&self, namer: impl Fn(u32) -> String) -> String {
+        let mut out = String::from("digraph provenance {\n  rankdir=LR;\n");
+        for (i, ev) in self.events.iter().enumerate() {
+            let shape = match ev {
+                ProvEvent::Source { .. } => "ellipse",
+                ProvEvent::Sink { .. } => "doubleoctagon",
+                ProvEvent::JniEntry { .. } | ProvEvent::JniExit { .. } => "hexagon",
+                _ => "box",
+            };
+            out.push_str(&format!(
+                "  n{i} [shape={shape}, label=\"{}\"];\n",
+                escape(&ev.canonical())
+            ));
+        }
+        for (from, to, bit) in &self.edges {
+            out.push_str(&format!(
+                "  n{from} -> n{to} [label=\"{}\"];\n",
+                escape(&namer(*bit))
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// JSON export: `{"events": [...], "edges": [[from, to, bit], ...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"events\":[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", escape(&ev.canonical())));
+        }
+        out.push_str("],\"edges\":[");
+        for (i, (from, to, bit)) in self.edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{from},{to},{bit}]"));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// FNV-1a 64 fingerprint of the canonical event stream and edge
+    /// list. Equal graphs (same events in the same order) fingerprint
+    /// equal on any worker count and either tracer engine.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for ev in &self.events {
+            eat(ev.canonical().as_bytes());
+            eat(b"\n");
+        }
+        for (from, to, bit) in &self.edges {
+            eat(&from.to_le_bytes());
+            eat(&to.to_le_bytes());
+            eat(&bit.to_le_bytes());
+        }
+        h
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The digest of one run's provenance, carried on `RunReport`.
+/// Everything here is deterministic for a given app + config, so the
+/// report stays `Eq`-comparable across workers and engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProvenanceSummary {
+    /// The recording level the run used.
+    pub level: Level,
+    /// Total events offered to the ring.
+    pub recorded: u64,
+    /// Events the ring evicted (exact).
+    pub dropped: u64,
+    /// [`FlowGraph::fingerprint`] over the held events.
+    pub fingerprint: u64,
+    /// [`FlowGraph::total_leak_paths`].
+    pub leak_paths: usize,
+}
+
+impl Handle {
+    /// Builds the flow graph over the currently held events.
+    pub fn flow_graph(&self) -> FlowGraph {
+        FlowGraph::build(&self.snapshot())
+    }
+
+    /// Digests the current state (`None` when `Off`).
+    pub fn summary(&self) -> Option<ProvenanceSummary> {
+        if !self.is_on() {
+            return None;
+        }
+        let graph = self.flow_graph();
+        Some(ProvenanceSummary {
+            level: self.level,
+            recorded: self.recorded(),
+            dropped: self.dropped(),
+            fingerprint: graph.fingerprint(),
+            leak_paths: graph.total_leak_paths(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source(label: u32, api: &str) -> ProvEvent {
+        ProvEvent::Source {
+            label,
+            api: api.into(),
+        }
+    }
+
+    fn sink(label: u32, sink_name: &str, dest: &str) -> ProvEvent {
+        ProvEvent::Sink {
+            sink: sink_name.into(),
+            dest: dest.into(),
+            label,
+            ctx: SinkCtx::Native,
+        }
+    }
+
+    /// The qq_phonebook shape: two sources merge, cross JNI, pass
+    /// through libc, and exit at one sink carrying both bits.
+    fn qq_like_stream() -> Vec<ProvEvent> {
+        vec![
+            source(0x2, "ContactsProvider.query"),
+            source(0x200, "SmsProvider.query"),
+            ProvEvent::JniEntry {
+                method: "Lcom/qq/Jni;.makeLoginRequestPackageMd5".into(),
+                label: 0x202,
+            },
+            ProvEvent::Transfer {
+                api: "GetStringUTFChars".into(),
+                label: 0x202,
+                direction: Direction::JavaToNative,
+            },
+            ProvEvent::Libc {
+                func: "strcpy".into(),
+                label: 0x202,
+            },
+            ProvEvent::Transfer {
+                api: "NewStringUTF".into(),
+                label: 0x202,
+                direction: Direction::NativeToJava,
+            },
+            ProvEvent::JniExit {
+                method: "Lcom/qq/Jni;.getPostUrl".into(),
+                label: 0x202,
+            },
+            ProvEvent::Sink {
+                sink: "HttpClient.post".into(),
+                dest: "sync.3g.qq.com".into(),
+                label: 0x202,
+                ctx: SinkCtx::Java,
+            },
+        ]
+    }
+
+    #[test]
+    fn ring_is_bounded_with_exact_drop_counter() {
+        let mut r = Ring::new(3);
+        for i in 0..5u32 {
+            r.push(source(1 << i, "s"));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(r.dropped(), 2);
+        // Oldest-first eviction: 0 and 1 are gone, 2..5 remain.
+        let labels: Vec<u32> = r.events().map(ProvEvent::label).collect();
+        assert_eq!(labels, vec![4, 8, 16]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_never_panics() {
+        let mut r = Ring::new(0);
+        for _ in 0..10 {
+            r.push(source(1, "s"));
+        }
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 10);
+        assert_eq!(r.recorded(), 10);
+    }
+
+    #[test]
+    fn off_handle_records_nothing() {
+        let h = Handle::new(Level::Off);
+        assert!(!h.is_on());
+        h.emit(source(1, "s"));
+        assert!(h.snapshot().is_empty());
+        assert_eq!(h.recorded(), 0);
+        assert!(h.summary().is_none());
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let a = Handle::new(Level::Summary);
+        let b = a.clone();
+        a.emit(source(0x2, "contacts"));
+        b.emit(sink(0x2, "send", "evil.com"));
+        let events = a.snapshot();
+        assert_eq!(events.len(), 2);
+        assert!(events[1].is_sink());
+    }
+
+    #[test]
+    fn leak_path_walks_source_to_sink_per_bit() {
+        let g = FlowGraph::build(&qq_like_stream());
+        let sinks = g.sinks();
+        assert_eq!(sinks, vec![7]);
+        let paths = g.leak_paths(7);
+        assert_eq!(paths.len(), 2, "one path per label bit");
+        let contacts = &paths[0];
+        assert_eq!(contacts.label, 0x2);
+        assert_eq!(contacts.nodes, vec![0, 2, 3, 4, 5, 6, 7]);
+        let sms = &paths[1];
+        assert_eq!(sms.label, 0x200);
+        assert_eq!(sms.nodes, vec![1, 2, 3, 4, 5, 6, 7]);
+        // Endpoints: a source first, the sink last.
+        assert!(matches!(g.events()[contacts.nodes[0]], ProvEvent::Source { .. }));
+        assert!(g.events()[*contacts.nodes.last().unwrap()].is_sink());
+        assert_eq!(g.total_leak_paths(), 2);
+    }
+
+    #[test]
+    fn clean_sink_has_no_paths() {
+        let g = FlowGraph::build(&[source(0x2, "contacts"), sink(0, "send", "host")]);
+        assert_eq!(g.leak_paths(1), Vec::new());
+        assert_eq!(g.total_leak_paths(), 0);
+        // Non-sink and out-of-range queries are empty, not panics.
+        assert!(g.leak_paths(0).is_empty());
+        assert!(g.leak_paths(99).is_empty());
+    }
+
+    #[test]
+    fn dot_and_json_are_deterministic() {
+        let g = FlowGraph::build(&qq_like_stream());
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph provenance {"));
+        assert!(dot.contains("doubleoctagon"));
+        assert!(dot.contains("sync.3g.qq.com"));
+        assert_eq!(dot, FlowGraph::build(&qq_like_stream()).to_dot());
+        let json = g.to_json();
+        assert!(json.starts_with("{\"events\":["));
+        assert!(json.contains("[6,7,2]"), "jni-exit -> sink edge for bit 0x2");
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = FlowGraph::build(&qq_like_stream());
+        let b = FlowGraph::build(&qq_like_stream());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut other = qq_like_stream();
+        other.pop();
+        let c = FlowGraph::build(&other);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn summary_digests_the_handle() {
+        let h = Handle::new(Level::Full);
+        for ev in qq_like_stream() {
+            h.emit(ev);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!(s.level, Level::Full);
+        assert_eq!(s.recorded, 8);
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.leak_paths, 2);
+        assert_eq!(s.fingerprint, h.flow_graph().fingerprint());
+    }
+
+    #[test]
+    fn levels_display() {
+        assert_eq!(Level::Off.to_string(), "off");
+        assert_eq!(Level::Summary.to_string(), "summary");
+        assert_eq!(Level::Full.to_string(), "full");
+    }
+}

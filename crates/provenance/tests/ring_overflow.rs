@@ -1,0 +1,93 @@
+//! Ring-overflow property tests: under random capacities and push
+//! sequences the bounded ring must (1) keep its drop counter exact —
+//! `dropped == max(0, pushes - cap)` — (2) evict strictly oldest
+//! first, so the surviving window is exactly the tail of the pushed
+//! sequence in order, and (3) never panic, including at capacity
+//! zero. Failures replay with `TESTKIT_SEED`.
+
+use ndroid_provenance::{FlowGraph, Handle, Level, ProvEvent, Ring};
+use ndroid_testkit::prelude::*;
+
+/// A numbered event whose identity survives the ring: the push index
+/// is encoded in the api string and the label carries `sel`-derived
+/// bits so graph building downstream sees varied labels.
+fn numbered(i: usize, bits: u32) -> ProvEvent {
+    ProvEvent::Source {
+        label: bits,
+        api: format!("src-{i}"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn drop_counter_is_exact_and_eviction_is_oldest_first(
+        cap in 0usize..24,
+        labels in collection::vec(any::<u32>(), 0..96),
+    ) {
+        let mut ring = Ring::new(cap);
+        for (i, &bits) in labels.iter().enumerate() {
+            ring.push(numbered(i, bits));
+        }
+        let pushes = labels.len();
+        prop_assert_eq!(ring.recorded(), pushes as u64);
+        prop_assert_eq!(ring.dropped(), pushes.saturating_sub(cap) as u64);
+        prop_assert_eq!(ring.len(), pushes.min(cap));
+        // The survivors are exactly the last `min(pushes, cap)`
+        // events, in push order.
+        let first_kept = pushes - pushes.min(cap);
+        let held: Vec<ProvEvent> = ring.events().cloned().collect();
+        let expected: Vec<ProvEvent> = (first_kept..pushes)
+            .map(|i| numbered(i, labels[i]))
+            .collect();
+        prop_assert_eq!(held, expected);
+    }
+
+    /// The same invariants through the shared [`Handle`] front-end,
+    /// plus: the graph fingerprint over the snapshot depends only on
+    /// the surviving window, so two handles fed the same tail agree.
+    #[test]
+    fn handle_snapshot_is_the_surviving_window(
+        cap in 1usize..16,
+        labels in collection::vec(1u32..0x1000, 1..64),
+    ) {
+        let full = Handle::with_capacity(Level::Full, cap);
+        for (i, &bits) in labels.iter().enumerate() {
+            full.emit(numbered(i, bits));
+        }
+        let pushes = labels.len();
+        prop_assert_eq!(full.recorded(), pushes as u64);
+        prop_assert_eq!(full.dropped(), pushes.saturating_sub(cap) as u64);
+
+        // Feed only the surviving tail to a fresh handle: identical
+        // snapshot, identical fingerprint.
+        let first_kept = pushes - pushes.min(cap);
+        let tail_only = Handle::with_capacity(Level::Full, cap);
+        for i in first_kept..pushes {
+            tail_only.emit(numbered(i, labels[i]));
+        }
+        prop_assert_eq!(full.snapshot(), tail_only.snapshot());
+        prop_assert_eq!(
+            FlowGraph::build(&full.snapshot()).fingerprint(),
+            FlowGraph::build(&tail_only.snapshot()).fingerprint()
+        );
+    }
+
+    /// Capacity zero is a legal configuration: everything is refused
+    /// and counted, nothing panics, and the summary stays coherent.
+    #[test]
+    fn zero_capacity_drops_everything_without_panicking(
+        labels in collection::vec(any::<u32>(), 0..32),
+    ) {
+        let h = Handle::with_capacity(Level::Summary, 0);
+        for (i, &bits) in labels.iter().enumerate() {
+            h.emit(numbered(i, bits));
+        }
+        prop_assert_eq!(h.recorded(), labels.len() as u64);
+        prop_assert_eq!(h.dropped(), labels.len() as u64);
+        prop_assert!(h.snapshot().is_empty());
+        let s = h.summary().expect("Summary level always digests");
+        prop_assert_eq!(s.recorded, labels.len() as u64);
+        prop_assert_eq!(s.dropped, labels.len() as u64);
+        prop_assert_eq!(s.leak_paths, 0usize);
+    }
+}

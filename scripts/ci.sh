@@ -43,11 +43,17 @@ echo "== batch farm: 4-worker merge must match the sequential golden =="
 # BatchReport (and its rendering) is byte-identical.
 cargo run -q --release --offline -p ndroid-bench --bin exp_batch -- --workers 4
 
+echo "== provenance: gallery leak paths must match the golden transcript =="
+# Runs each pinned gallery case at Level::Full and diffs every
+# reconstructed source->JNI->native->sink path against the checked-in
+# golden (crates/bench/src/bin/exp_provenance_golden.txt).
+cargo run -q --release --offline -p ndroid-bench --bin exp_provenance
+
 echo "== bench smoke pass (TESTKIT_BENCH_SMOKE=1) =="
 BENCH_DIR="$(mktemp -d)"
 TESTKIT_BENCH_SMOKE=1 TESTKIT_BENCH_DIR="$BENCH_DIR" \
   cargo bench -q --offline -p ndroid-bench
-for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json BENCH_oracle.json BENCH_batch.json; do
+for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json BENCH_oracle.json BENCH_batch.json BENCH_provenance.json; do
   if [ ! -s "$BENCH_DIR/$f" ]; then
     echo "error: bench smoke did not produce $f" >&2
     exit 1
