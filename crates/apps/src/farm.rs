@@ -98,6 +98,10 @@ pub fn spec_for_record(record: &AppRecord) -> FlowSpec {
         hops,
         sink: SINKS[(h >> 16) as usize % SINKS.len()],
         leak: (h >> 24) % 4 != 0, // ~75% of samples actually leak
+        // Deliberately mutation-free: the pinned corpus/batch goldens
+        // predate mutations. Mutated specs live in the adversarial
+        // corpus ([`crate::adversarial`]).
+        mutations: vec![],
     }
 }
 
@@ -134,6 +138,25 @@ pub fn corpus_shard_jobs(config: &SystemConfig, n: usize, seed: u64) -> Vec<Anal
             let config = config.clone();
             AnalysisJob::new(label, move || {
                 build(&spec)
+                    .run_with(config)
+                    .map(|sys| sys.report())
+                    .map_err(|e| e.to_string())
+            })
+        })
+        .collect()
+}
+
+/// The adversarial corpus ([`crate::adversarial::corpus`]) as farm
+/// jobs, in pinned corpus order. Score the resulting [`BatchReport`]
+/// with [`ndroid_core::score::score_batch`] against
+/// [`crate::adversarial::expected_leak`].
+pub fn adversarial_jobs(config: &SystemConfig) -> Vec<AnalysisJob> {
+    crate::adversarial::corpus()
+        .into_iter()
+        .map(|case| {
+            let config = config.clone();
+            AnalysisJob::new(case.label, move || {
+                case.build()
                     .run_with(config)
                     .map(|sys| sys.report())
                     .map_err(|e| e.to_string())
@@ -194,7 +217,7 @@ mod tests {
             .iter()
             .filter(|r| r.jni_type() == JniType::TypeI && !r.native_libs.is_empty())
             .take(n)
-            .map(|r| spec_for_record(r).leak)
+            .map(|r| spec_for_record(r).expected_leak())
             .collect();
 
         let report = run_batch(jobs, BatchConfig::new(2));
@@ -208,6 +231,18 @@ mod tests {
                 result.label
             );
         }
+    }
+
+    #[test]
+    fn adversarial_jobs_score_perfectly() {
+        let jobs = adversarial_jobs(&SystemConfig::ndroid().quiet(true));
+        let report = run_batch(jobs, BatchConfig::new(4));
+        let score =
+            ndroid_core::score::score_batch(&report, crate::adversarial::expected_leak);
+        assert!(score.perfect(), "{}", score.render());
+        assert_eq!(score.aggregate.recall(), 1.0);
+        assert_eq!(score.aggregate.precision(), 1.0);
+        assert_eq!(score.aggregate.total(), crate::adversarial::corpus().len());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! * [`survey`] — the eight manually-driven apps of §VI (three deliver
 //!   contacts/SMS to native code; one, ePhone, leaks).
 
+pub mod adversarial;
 pub mod benign;
 pub mod builder;
 pub mod cases;
@@ -30,6 +31,7 @@ pub mod pure_native;
 pub mod qq_phonebook;
 pub mod survey;
 pub mod synth;
+pub mod testutil;
 pub mod thumb_spy;
 
 pub use builder::{App, AppBuilder};

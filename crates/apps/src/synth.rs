@@ -9,7 +9,7 @@
 
 use crate::builder::{App, AppBuilder};
 use ndroid_arm::reg::RegList;
-use ndroid_arm::{Cond, Reg};
+use ndroid_arm::{Assembler, Cond, Reg};
 use ndroid_dvm::bytecode::DexInsn;
 use ndroid_dvm::{InvokeKind, MethodDef, MethodKind, Taint};
 use ndroid_jni::dvm_addr;
@@ -65,6 +65,45 @@ pub enum Hop {
     Strdup,
 }
 
+/// A μDep-style mutation applied to the final buffer before the sink:
+/// each variant either *preserves* the data dependence on the
+/// sensitive source (the taint must survive) or *kills* it (the bytes
+/// reaching the sink carry no sensitive data, so flagging them would
+/// be a false positive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Byte-wise XOR with `0x29` — taint-preserving (Table V EOR rule).
+    Xor29,
+    /// Byte-order reversal via `strlen`-indexed stores —
+    /// taint-preserving byte movement.
+    Reverse,
+    /// Overwrite with a constant stamp string, ignoring the input —
+    /// taint-killing (the data dependence is severed).
+    ConstStamp,
+    /// Read every input byte but store only constants (the output
+    /// depends on the input through *control flow* alone) —
+    /// taint-killing for an explicit-flow tracker like NDroid.
+    ImplicitOnly,
+}
+
+impl Mutation {
+    /// Whether this mutation severs the data dependence on the source
+    /// (ground truth flips to "no leak" once one appears in the chain).
+    pub fn kills_taint(self) -> bool {
+        matches!(self, Mutation::ConstStamp | Mutation::ImplicitOnly)
+    }
+
+    /// Stable lowercase tag used in corpus labels.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Mutation::Xor29 => "xor29",
+            Mutation::Reverse => "reverse",
+            Mutation::ConstStamp => "const-stamp",
+            Mutation::ImplicitOnly => "implicit-only",
+        }
+    }
+}
+
 /// Where the flow terminates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Sink {
@@ -88,6 +127,46 @@ pub struct FlowSpec {
     /// When `false`, the sensitive buffer is abandoned and a constant
     /// string goes to the sink instead (ground truth: no leak).
     pub leak: bool,
+    /// μDep-style mutations applied after the hops, in order, each
+    /// into a fresh buffer. A taint-killing mutation anywhere in the
+    /// chain makes the payload clean from that point on.
+    pub mutations: Vec<Mutation>,
+}
+
+impl FlowSpec {
+    /// The spec's ground truth: does the payload that reaches the sink
+    /// carry sensitive data? `leak` routes the sensitive buffer to the
+    /// sink, but any taint-killing mutation severs the dependence —
+    /// preserving mutations never resurrect it.
+    pub fn expected_leak(&self) -> bool {
+        self.leak && !self.mutations.iter().any(|m| m.kills_taint())
+    }
+
+    /// Returns the spec with `mutations` appended.
+    #[must_use]
+    pub fn with_mutations(mut self, mutations: &[Mutation]) -> FlowSpec {
+        self.mutations.extend_from_slice(mutations);
+        self
+    }
+}
+
+/// Emits a byte-wise `dst[i] = src[i] ^ key` loop terminated by the
+/// source NUL (which is also copied, XORed, as the terminator slot).
+fn emit_xor_loop(asm: &mut Assembler, src: u32, dst: u32, key: u32) {
+    asm.ldr_const(Reg::R4, src);
+    asm.ldr_const(Reg::R5, dst);
+    asm.mov_imm(Reg::R6, 0).unwrap();
+    let top = asm.here_label();
+    asm.ldrb_reg(Reg::R0, Reg::R4, Reg::R6);
+    asm.cmp_imm(Reg::R0, 0).unwrap();
+    let done = asm.label();
+    asm.b_cond(Cond::Eq, done);
+    asm.eor_imm(Reg::R0, Reg::R0, key).unwrap();
+    asm.strb_reg(Reg::R0, Reg::R5, Reg::R6);
+    asm.add_imm(Reg::R6, Reg::R6, 1).unwrap();
+    asm.b(top);
+    asm.bind(done).unwrap();
+    asm.strb_reg(Reg::R0, Reg::R5, Reg::R6); // NUL
 }
 
 /// Builds an app realizing `spec`. The native method signature is
@@ -102,8 +181,11 @@ pub fn build(spec: &FlowSpec) -> App {
     let fmt_s = b.data_cstr("v=%s");
     let fmt_file = b.data_cstr("%s");
     let decoy = b.data_cstr("decoy-payload");
-    // One buffer per hop (plus the initial one).
-    let buffers: Vec<u32> = (0..=spec.hops.len()).map(|_| b.data_buffer(128)).collect();
+    let stamp = b.data_cstr("stamped-const");
+    // One buffer per hop and per mutation (plus the initial one).
+    let buffers: Vec<u32> = (0..=spec.hops.len() + spec.mutations.len())
+        .map(|_| b.data_buffer(128))
+        .collect();
 
     let entry = b.asm.label();
     b.asm.bind(entry).unwrap();
@@ -130,22 +212,7 @@ pub fn build(spec: &FlowSpec) -> App {
                 b.asm.mov_imm(Reg::R2, 64).unwrap();
                 b.asm.call_abs(libc_addr("memcpy"));
             }
-            Hop::XorLoop => {
-                b.asm.ldr_const(Reg::R4, src);
-                b.asm.ldr_const(Reg::R5, dst);
-                b.asm.mov_imm(Reg::R6, 0).unwrap();
-                let top = b.asm.here_label();
-                b.asm.ldrb_reg(Reg::R0, Reg::R4, Reg::R6);
-                b.asm.cmp_imm(Reg::R0, 0).unwrap();
-                let done = b.asm.label();
-                b.asm.b_cond(Cond::Eq, done);
-                b.asm.eor_imm(Reg::R0, Reg::R0, 0x13).unwrap();
-                b.asm.strb_reg(Reg::R0, Reg::R5, Reg::R6);
-                b.asm.add_imm(Reg::R6, Reg::R6, 1).unwrap();
-                b.asm.b(top);
-                b.asm.bind(done).unwrap();
-                b.asm.strb_reg(Reg::R0, Reg::R5, Reg::R6); // NUL
-            }
+            Hop::XorLoop => emit_xor_loop(&mut b.asm, src, dst, 0x13),
             Hop::Sprintf => {
                 b.asm.ldr_const(Reg::R0, dst);
                 b.asm.ldr_const(Reg::R1, fmt_s);
@@ -160,6 +227,68 @@ pub fn build(spec: &FlowSpec) -> App {
                 b.asm.mov(Reg::R1, Reg::R0);
                 b.asm.ldr_const(Reg::R0, dst);
                 b.asm.call_abs(libc_addr("strcpy"));
+            }
+        }
+    }
+    // Apply μDep-style mutations, each into its own fresh buffer.
+    for (j, mutation) in spec.mutations.iter().enumerate() {
+        let (src, dst) = (
+            buffers[spec.hops.len() + j],
+            buffers[spec.hops.len() + j + 1],
+        );
+        match mutation {
+            Mutation::Xor29 => emit_xor_loop(&mut b.asm, src, dst, 0x29),
+            Mutation::Reverse => {
+                // dst[len-1-i] = src[i]: pure byte movement, every
+                // output byte data-depends on an input byte.
+                b.asm.ldr_const(Reg::R0, src);
+                b.asm.call_abs(libc_addr("strlen"));
+                b.asm.mov(Reg::R7, Reg::R0);
+                b.asm.ldr_const(Reg::R4, src);
+                b.asm.ldr_const(Reg::R5, dst);
+                b.asm.mov_imm(Reg::R6, 0).unwrap();
+                b.asm.cmp_imm(Reg::R7, 0).unwrap();
+                let done = b.asm.label();
+                b.asm.b_cond(Cond::Eq, done);
+                let top = b.asm.here_label();
+                b.asm.sub(Reg::R2, Reg::R7, Reg::R6);
+                b.asm.sub_imm(Reg::R2, Reg::R2, 1).unwrap();
+                b.asm.ldrb_reg(Reg::R0, Reg::R4, Reg::R6);
+                b.asm.strb_reg(Reg::R0, Reg::R5, Reg::R2);
+                b.asm.add_imm(Reg::R6, Reg::R6, 1).unwrap();
+                b.asm.cmp(Reg::R6, Reg::R7);
+                b.asm.b_cond(Cond::Ne, top);
+                b.asm.bind(done).unwrap();
+                b.asm.mov_imm(Reg::R0, 0).unwrap();
+                b.asm.strb_reg(Reg::R0, Reg::R5, Reg::R7); // NUL
+            }
+            Mutation::ConstStamp => {
+                // The input buffer is never read again: the stamp
+                // severs the data dependence entirely.
+                b.asm.ldr_const(Reg::R0, dst);
+                b.asm.ldr_const(Reg::R1, stamp);
+                b.asm.call_abs(libc_addr("strcpy"));
+            }
+            Mutation::ImplicitOnly => {
+                // Read every tainted byte but store only the constant
+                // 0x23: the output depends on the input through control
+                // flow alone (loop trip count), which an explicit-flow
+                // tracker must NOT flag.
+                b.asm.ldr_const(Reg::R4, src);
+                b.asm.ldr_const(Reg::R5, dst);
+                b.asm.mov_imm(Reg::R6, 0).unwrap();
+                let top = b.asm.here_label();
+                b.asm.ldrb_reg(Reg::R0, Reg::R4, Reg::R6);
+                b.asm.cmp_imm(Reg::R0, 0).unwrap();
+                let done = b.asm.label();
+                b.asm.b_cond(Cond::Eq, done);
+                b.asm.mov_imm(Reg::R0, 0x23).unwrap();
+                b.asm.strb_reg(Reg::R0, Reg::R5, Reg::R6);
+                b.asm.add_imm(Reg::R6, Reg::R6, 1).unwrap();
+                b.asm.b(top);
+                b.asm.bind(done).unwrap();
+                b.asm.mov_imm(Reg::R0, 0).unwrap();
+                b.asm.strb_reg(Reg::R0, Reg::R5, Reg::R6); // NUL
             }
         }
     }
@@ -259,6 +388,7 @@ mod tests {
                 hops: vec![Hop::Memcpy],
                 sink,
                 leak: true,
+                mutations: vec![],
             };
             let sys = build(&spec).run(Mode::NDroid).unwrap();
             assert_eq!(sys.leaks().len(), 1, "{sink:?}");
@@ -273,9 +403,59 @@ mod tests {
             hops: vec![Hop::Strcpy, Hop::XorLoop],
             sink: Sink::NativeSend,
             leak: false,
+            mutations: vec![],
         };
         let sys = build(&spec).run(Mode::NDroid).unwrap();
         assert!(sys.leaks().is_empty());
         assert_eq!(sys.kernel.network_log.len(), 1, "decoy was sent");
+    }
+
+    #[test]
+    fn preserving_mutations_keep_the_leak() {
+        for mutation in [Mutation::Xor29, Mutation::Reverse] {
+            let spec = FlowSpec {
+                source: Source::Contact,
+                hops: vec![Hop::Strcpy],
+                sink: Sink::NativeSend,
+                leak: true,
+                mutations: vec![mutation],
+            };
+            assert!(spec.expected_leak());
+            let sys = build(&spec).run(Mode::NDroid).unwrap();
+            assert_eq!(sys.leaks().len(), 1, "{mutation:?}");
+            assert!(sys.leaks()[0].taint.contains(Taint::CONTACTS));
+        }
+    }
+
+    #[test]
+    fn killing_mutations_flip_ground_truth_and_stay_clean() {
+        for mutation in [Mutation::ConstStamp, Mutation::ImplicitOnly] {
+            let spec = FlowSpec {
+                source: Source::Contact,
+                hops: vec![Hop::Strcpy],
+                sink: Sink::NativeSend,
+                leak: true,
+                mutations: vec![mutation],
+            };
+            assert!(!spec.expected_leak());
+            let sys = build(&spec).run(Mode::NDroid).unwrap();
+            assert!(sys.leaks().is_empty(), "{mutation:?} must not be flagged");
+            assert_eq!(sys.kernel.network_log.len(), 1, "payload was sent");
+        }
+    }
+
+    #[test]
+    fn killing_mutation_followed_by_preserving_stays_clean() {
+        // A preserving mutation must never resurrect a severed flow.
+        let spec = FlowSpec {
+            source: Source::Imei,
+            hops: vec![],
+            sink: Sink::NativeSend,
+            leak: true,
+            mutations: vec![Mutation::ConstStamp, Mutation::Xor29],
+        };
+        assert!(!spec.expected_leak());
+        let sys = build(&spec).run(Mode::NDroid).unwrap();
+        assert!(sys.leaks().is_empty());
     }
 }

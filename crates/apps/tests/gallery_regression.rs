@@ -5,13 +5,9 @@
 //! change to the analysis that alters what these apps leak — or where
 //! in the payload the tainted bytes sit — fails here first.
 
+use ndroid_apps::testutil::{run_ndroid as run, GALLERY};
 use ndroid_apps::{crypto_hider, qq_phonebook, thumb_spy};
-use ndroid_core::{Mode, NDroidSystem};
 use ndroid_dvm::{SinkContext, Taint};
-
-fn run(build: fn() -> ndroid_apps::App) -> NDroidSystem {
-    build().run(Mode::NDroid).expect("app run")
-}
 
 #[test]
 fn qq_phonebook_report_is_pinned() {
@@ -78,13 +74,9 @@ fn crypto_hider_report_is_pinned() {
 
 #[test]
 fn gallery_reports_are_deterministic_across_runs() {
-    for build in [
-        qq_phonebook::qq_phonebook as fn() -> ndroid_apps::App,
-        thumb_spy::thumb_spy,
-        crypto_hider::crypto_hider,
-    ] {
+    for (name, build) in GALLERY {
         let a = format!("{:?}", run(build).leaks());
         let b = format!("{:?}", run(build).leaks());
-        assert_eq!(a, b, "identical report on every run");
+        assert_eq!(a, b, "{name}: identical report on every run");
     }
 }

@@ -11,49 +11,9 @@
 //! sinks all read the *shared* shadow state, so an optimized-tracer
 //! bug anywhere on those paths shows up as a report diff here.
 
-use ndroid_apps::{crypto_hider, qq_phonebook, thumb_spy, App};
-use ndroid_core::{EngineKind, RunReport, SystemConfig};
+use ndroid_apps::testutil::assert_reports_match;
+use ndroid_apps::{crypto_hider, qq_phonebook, thumb_spy};
 use ndroid_dvm::Taint;
-
-fn run_engine(build: fn() -> App, engine: EngineKind) -> RunReport {
-    build()
-        .run_with(SystemConfig::ndroid().engine(engine))
-        .expect("engine run")
-        .report()
-}
-
-/// Runs both engines, asserts their reports agree on everything
-/// externally observable, and returns the reference-engine report for
-/// pinned-leak checks.
-fn assert_reports_match(build: fn() -> App, name: &str) -> RunReport {
-    let opt = run_engine(build, EngineKind::Optimized);
-    let reference = run_engine(build, EngineKind::Reference);
-    assert_eq!(opt.engine, EngineKind::Optimized);
-    assert_eq!(
-        reference.engine,
-        EngineKind::Reference,
-        "{name}: reference engine must actually be installed"
-    );
-
-    assert_eq!(
-        opt.sink_events, reference.sink_events,
-        "{name}: sink-event reports diverge between engines"
-    );
-    assert_eq!(
-        opt.network_log, reference.network_log,
-        "{name}: network logs diverge between engines"
-    );
-    assert_eq!(
-        opt.violations, reference.violations,
-        "{name}: protection violations diverge between engines"
-    );
-    assert_eq!(
-        (opt.native_insns, opt.bytecodes),
-        (reference.native_insns, reference.bytecodes),
-        "{name}: engines executed different instruction counts"
-    );
-    reference
-}
 
 #[test]
 fn qq_phonebook_reports_match_reference() {

@@ -4,65 +4,9 @@
 //! across tracer engines (the differential-oracle guarantee extends to
 //! the event stream) and at both recording levels.
 
-use ndroid_apps::{crypto_hider, qq_phonebook, thumb_spy, App};
-use ndroid_core::{
-    EngineKind, FlowGraph, NDroidSystem, ProvEvent, ProvenanceLevel, SystemConfig,
-};
-use ndroid_dvm::Taint;
-
-const GALLERY: [(&str, fn() -> App); 3] = [
-    ("qq_phonebook", qq_phonebook::qq_phonebook),
-    ("thumb_spy", thumb_spy::thumb_spy),
-    ("crypto_hider", crypto_hider::crypto_hider),
-];
-
-fn run(build: fn() -> App, engine: EngineKind, level: ProvenanceLevel) -> NDroidSystem {
-    build()
-        .run_with(SystemConfig::ndroid().engine(engine).provenance(level))
-        .expect("gallery app runs")
-}
-
-/// For every pinned leak the graph holds a matching `Sink` event with a
-/// non-empty path per label bit, starting at a `Source` that carries
-/// that bit and ending at the sink itself.
-fn assert_paths_cover_pinned_leaks(name: &str, sys: &NDroidSystem, graph: &FlowGraph) {
-    let leaks = sys.leaks();
-    assert!(!leaks.is_empty(), "{name}: gallery app must leak");
-    for leak in leaks {
-        let sink_idx = graph
-            .events()
-            .iter()
-            .position(|e| {
-                matches!(e, ProvEvent::Sink { sink, dest, label, .. }
-                    if *sink == leak.sink && *dest == leak.dest && *label == leak.taint.0)
-            })
-            .unwrap_or_else(|| {
-                panic!("{name}: no Sink event matches pinned leak {leak:?}")
-            });
-        let paths = graph.leak_paths(sink_idx);
-        assert_eq!(
-            paths.len(),
-            leak.taint.0.count_ones() as usize,
-            "{name}: one path per label bit"
-        );
-        for path in &paths {
-            assert!(
-                leak.taint.contains(Taint(path.label)),
-                "{name}: path label {:#x} within the leak label",
-                path.label
-            );
-            assert!(path.nodes.len() >= 2, "{name}: path spans source to sink");
-            assert_eq!(*path.nodes.last().unwrap(), sink_idx);
-            let first = &graph.events()[path.nodes[0]];
-            assert!(
-                matches!(first, ProvEvent::Source { label, .. } if label & path.label != 0),
-                "{name}: path for bit {:#x} must start at a Source, got {}",
-                path.label,
-                first.canonical()
-            );
-        }
-    }
-}
+use ndroid_apps::qq_phonebook;
+use ndroid_apps::testutil::{assert_paths_cover_pinned_leaks, run_prov as run, GALLERY};
+use ndroid_core::{EngineKind, ProvEvent, ProvenanceLevel};
 
 #[test]
 fn gallery_leak_paths_reconstruct_under_full() {

@@ -17,6 +17,38 @@ use crate::reg::{Reg, RegList};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Label(usize);
 
+/// The machine-code word of a single assembled ARM instruction —
+/// the constant an app embeds when it plans to overwrite its own code
+/// at runtime (self-patching / inline-detour idiom).
+///
+/// # Panics
+///
+/// Panics if `build` emits no instruction or an unencodable one.
+pub fn encoding_of(build: impl FnOnce(&mut Assembler)) -> u32 {
+    let mut asm = Assembler::new(0);
+    build(&mut asm);
+    let code = asm.assemble().expect("encodable instruction");
+    u32::from_le_bytes(code.bytes[..4].try_into().expect("one instruction emitted"))
+}
+
+/// The encoding of `B <to>` as fetched from address `from` — the word
+/// an inline detour stores over a function prologue to divert every
+/// subsequent call into a patched copy.
+///
+/// # Errors
+///
+/// [`ArmError::BranchOutOfRange`] if `to` is outside the ±32 MiB
+/// branch range of `from`.
+pub fn branch_word(from: u32, to: u32) -> Result<u32, ArmError> {
+    let offset = to.wrapping_sub(from.wrapping_add(8)) as i32;
+    encode(&Instr::Branch {
+        cond: Cond::Al,
+        link: false,
+        offset,
+    })
+    .map_err(|_| ArmError::BranchOutOfRange { from, to })
+}
+
 /// The output of assembly: a base address and the raw bytes to load at it.
 #[derive(Debug, Clone)]
 pub struct CodeBlock {
@@ -552,6 +584,13 @@ impl Assembler {
         self.blx(Reg::R12);
     }
 
+    /// Interworking call: `BLX r12` to `addr`, selecting the target
+    /// instruction set via bit 0 (`thumb = true` forces Thumb). This is
+    /// the ARM side of a Thumb↔ARM trampoline pair.
+    pub fn call_interwork(&mut self, addr: u32, thumb: bool) {
+        self.call_abs(if thumb { addr | 1 } else { addr & !1 });
+    }
+
     // --- VFP ----------------------------------------------------------------
 
     /// `VLDR dd, [rn, #imm]`
@@ -873,6 +912,13 @@ impl ThumbAssembler {
         self.raw(crate::thumb::enc::blx(Reg::R7));
     }
 
+    /// Interworking call from Thumb: `BLX r7` to `addr`, selecting the
+    /// target instruction set via bit 0 (`thumb = false` drops back to
+    /// ARM) — the Thumb side of a Thumb↔ARM trampoline pair.
+    pub fn call_interwork(&mut self, addr: u32, thumb: bool) {
+        self.call_abs(if thumb { addr | 1 } else { addr & !1 });
+    }
+
     /// Resolves fixups and returns the machine code.
     ///
     /// # Errors
@@ -989,6 +1035,67 @@ mod tests {
         assert_eq!(cpu.regs[0], 0xDEAD_BEEF);
         assert_eq!(cpu.regs[1], 0x1234_5678);
         assert_eq!(cpu.regs[2], 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn encoding_of_yields_the_instruction_word() {
+        let word = encoding_of(|a| a.mov_imm(Reg::R0, 7).unwrap());
+        // MOV r0, #7: cond=AL, opcode MOV, imm form.
+        assert_eq!(word, 0xE3A0_0007);
+    }
+
+    #[test]
+    fn branch_word_matches_assembled_branch() {
+        // `B` from 0x1000 to 0x1020 assembled normally vs computed.
+        let mut asm = Assembler::new(0x1000);
+        let l = asm.label();
+        for _ in 0..8 {
+            asm.mov(Reg::R0, Reg::R0);
+        }
+        // Rebuild: first item is the branch.
+        let mut asm2 = Assembler::new(0x1000);
+        let l2 = asm2.label();
+        asm2.b(l2);
+        drop((asm, l));
+        for _ in 0..7 {
+            asm2.mov(Reg::R0, Reg::R0);
+        }
+        asm2.bind(l2).unwrap();
+        let code = asm2.assemble().unwrap();
+        let assembled = u32::from_le_bytes(code.bytes[..4].try_into().unwrap());
+        assert_eq!(branch_word(0x1000, code.addr_of(l2)).unwrap(), assembled);
+    }
+
+    #[test]
+    fn branch_word_executes_as_a_detour() {
+        use crate::cpu::Cpu;
+        use crate::exec::step;
+        use crate::mem::Memory;
+        // Patch word stored over a MOV: execution lands at the target.
+        let mut asm = Assembler::new(0x3000);
+        asm.mov_imm(Reg::R0, 1).unwrap(); // will be overwritten
+        asm.bx(Reg::LR);
+        asm.mov_imm(Reg::R0, 2).unwrap(); // detour target (0x3008)
+        asm.bx(Reg::LR);
+        let code = asm.assemble().unwrap();
+        let mut mem = Memory::new();
+        mem.write_bytes(0x3000, &code.bytes);
+        mem.write_u32(0x3000, branch_word(0x3000, 0x3008).unwrap());
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0x3000);
+        cpu.regs[14] = 0xFFFF_FF00;
+        while cpu.pc() != 0xFFFF_FF00 {
+            step(&mut cpu, &mut mem).unwrap();
+        }
+        assert_eq!(cpu.regs[0], 2, "detoured past the original body");
+    }
+
+    #[test]
+    fn branch_word_rejects_out_of_range() {
+        assert!(matches!(
+            branch_word(0, 0x0400_0000),
+            Err(ArmError::BranchOutOfRange { .. })
+        ));
     }
 
     #[test]

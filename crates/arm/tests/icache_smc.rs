@@ -4,19 +4,12 @@
 //! generations), both for in-guest stores and for host-side writes
 //! between runs.
 
+use ndroid_arm::asm::encoding_of;
 use ndroid_arm::exec::step_cached;
 use ndroid_arm::icache::DecodeCache;
 use ndroid_arm::{Assembler, Cond, Cpu, Memory, Reg};
 
 const SENTINEL: u32 = 0xFFFF_FF00;
-
-/// The little-endian encoding of a single assembled instruction.
-fn encoding_of(build: impl FnOnce(&mut Assembler)) -> u32 {
-    let mut asm = Assembler::new(0);
-    build(&mut asm);
-    let code = asm.assemble().unwrap();
-    u32::from_le_bytes(code.bytes[..4].try_into().unwrap())
-}
 
 fn run(cpu: &mut Cpu, mem: &mut Memory, cache: &mut DecodeCache, entry: u32) {
     cpu.regs[14] = SENTINEL;

@@ -1,0 +1,99 @@
+//! Experiment / CI gate: adversarial corpus scoring matrix.
+//!
+//! Runs the full adversarial corpus (detour, interwork, rewrite,
+//! mutation, benign families) through the batch farm, scores every
+//! verdict against the corpus ground truth, and renders the per-family
+//! precision/recall matrix plus a provenance leak-path transcript at
+//! `Level::Full` for every case. The transcript is diffed against the
+//! golden below and the aggregate score must be perfect (recall 1.0 on
+//! taint-preserving cases, precision 1.0 on taint-killing and benign
+//! cases) — either divergence exits 1. Pass `--bless` to rewrite the
+//! golden after an intentional corpus change.
+
+use ndroid_apps::adversarial::{corpus, expected_leak};
+use ndroid_apps::farm::adversarial_jobs;
+use ndroid_core::batch::{run_batch, BatchConfig};
+use ndroid_core::{score_batch, ProvenanceLevel, SystemConfig};
+use ndroid_dvm::Taint;
+
+const GOLDEN: &str = include_str!("exp_adversarial_golden.txt");
+
+/// Where `--bless` writes the regenerated golden (the source tree, so
+/// the next build picks it up via `include_str!`).
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/src/bin/exp_adversarial_golden.txt"
+);
+
+/// One case's leak-path transcript at `Level::Full`: every
+/// reconstructed source→sink path for leaking cases, a pinned "clean"
+/// line for the rest.
+fn render_case(case: &ndroid_apps::adversarial::AdversarialCase) -> String {
+    let sys = case
+        .build()
+        .run_with(
+            SystemConfig::ndroid()
+                .quiet(true)
+                .provenance(ProvenanceLevel::Full),
+        )
+        .expect("adversarial case runs");
+    let graph = sys.flow_graph();
+    let total = graph.total_leak_paths();
+    if total == 0 {
+        return format!("== {}: clean, 0 leak paths ==\n", case.label);
+    }
+    let mut out = format!("== {}: {} leak paths ==\n", case.label, total);
+    for sink in graph.sinks() {
+        for path in graph.leak_paths(sink) {
+            out.push_str(&format!(
+                "[{}] {}\n",
+                Taint::bit_name(path.label),
+                graph.render_path(&path)
+            ));
+        }
+    }
+    out
+}
+
+fn main() {
+    let bless = std::env::args().any(|a| a == "--bless");
+
+    let batch = run_batch(
+        adversarial_jobs(&SystemConfig::ndroid().quiet(true)),
+        BatchConfig::new(4),
+    );
+    let score = score_batch(&batch, expected_leak);
+
+    let mut actual = score.render();
+    actual.push('\n');
+    for case in corpus() {
+        actual.push_str(&render_case(&case));
+    }
+    print!("{actual}");
+
+    if !score.perfect() {
+        eprintln!("\nadversarial corpus NOT scored perfectly (see matrix above)");
+        std::process::exit(1);
+    }
+
+    if bless {
+        std::fs::write(GOLDEN_PATH, &actual).expect("write golden");
+        println!("\ngolden blessed: {GOLDEN_PATH}");
+        return;
+    }
+
+    if actual != GOLDEN {
+        eprintln!("\nadversarial transcript DIVERGED from golden:");
+        for (i, (a, g)) in actual.lines().zip(GOLDEN.lines()).enumerate() {
+            if a != g {
+                eprintln!("  line {}:\n    actual: {a}\n    golden: {g}", i + 1);
+            }
+        }
+        let (na, ng) = (actual.lines().count(), GOLDEN.lines().count());
+        if na != ng {
+            eprintln!("  line counts differ: actual {na} vs golden {ng}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nadversarial score matrix and leak paths match golden");
+}

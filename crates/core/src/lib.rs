@@ -26,6 +26,7 @@ pub mod batch;
 pub mod config;
 pub mod oracle;
 pub mod report;
+pub mod score;
 pub mod source_policy;
 pub mod system;
 pub mod tracer;
@@ -39,6 +40,7 @@ pub use oracle::{
     ReferenceAnalysis, StopReason,
 };
 pub use report::{CaseOutcome, DetectionReport, RunReport};
+pub use score::{score_batch, FamilyScore, ScoreCard, ScoreReport};
 pub use ndroid_provenance::{
     FlowGraph, Handle as ProvHandle, LeakPath, Level as ProvenanceLevel, ProvEvent,
     ProvenanceSummary,

@@ -3,7 +3,7 @@
 //! seed that reproduces the failure via the `TESTKIT_SEED` env var.
 
 use crate::rng::{splitmix64, Pcg32};
-use crate::strategy::Strategy;
+use crate::strategy::{Strategy, ValueTree};
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Once;
@@ -103,13 +103,47 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
+/// Greedy shrink: simplify while the property keeps failing; when a
+/// candidate passes, complicate back toward the failure. Returns the
+/// minimal failing input and its assertion message. Purely a function
+/// of the value tree and the property, so a fresh run and a
+/// `TESTKIT_SEED` replay of the same case shrink to the same minimum.
+fn shrink_failure<V: Clone, F: FnMut(V)>(
+    cfg: &Config,
+    tree: &mut Box<dyn ValueTree<Value = V>>,
+    first: String,
+    test: &mut F,
+) -> (V, String) {
+    let mut last_msg = first;
+    let mut failing = tree.current();
+    for _ in 0..cfg.max_shrink_iters {
+        if !tree.simplify() {
+            break;
+        }
+        match probe(test, tree.current()) {
+            Err(msg) => {
+                last_msg = msg;
+                failing = tree.current();
+            }
+            Ok(()) => {
+                if !tree.complicate() {
+                    break;
+                }
+            }
+        }
+    }
+    (failing, last_msg)
+}
+
 /// Runs `test` against `cfg.cases` values drawn from `strategy`.
 ///
 /// On failure the input is shrunk greedily (simplify / complicate on
 /// the value tree) and the final report carries the per-case seed;
 /// re-running with `TESTKIT_SEED=<seed>` regenerates exactly the same
 /// initial input for any property, so `TESTKIT_SEED=0x… cargo test
-/// <name>` reproduces the failure.
+/// <name>` reproduces the failure — *and* re-shrinks it through the
+/// same greedy loop, so the replayed report pins the same minimal
+/// input as the original run.
 pub fn run_property<S, F>(cfg: &Config, name: &str, strategy: &S, mut test: F)
 where
     S: Strategy,
@@ -118,14 +152,29 @@ where
     install_quiet_hook();
 
     if let Some(seed) = env_u64(SEED_ENV) {
-        // Reproduction mode: run exactly one case, loudly.
+        // Reproduction mode: regenerate the one seeded case, and if it
+        // still fails, shrink it exactly as the original run did.
         let mut rng = Pcg32::seed_from_u64(seed);
-        let tree = strategy.new_tree(&mut rng);
+        let mut tree = strategy.new_tree(&mut rng);
         eprintln!(
             "[testkit] {name}: replaying {SEED_ENV}={seed:#x} with input {:?}",
             tree.current()
         );
-        test(tree.current());
+        match probe(&mut test, tree.current()) {
+            Ok(()) => {
+                eprintln!("[testkit] {name}: replayed case passes ({SEED_ENV} does not reproduce a failure here)");
+            }
+            Err(first) => {
+                let (failing, last_msg) = shrink_failure(cfg, &mut tree, first, &mut test);
+                panic!(
+                    "[testkit] property '{name}' failed (replay of {SEED_ENV}={seed:#x}).\n\
+                     minimal input: {failing:?}\n\
+                     assertion: {last_msg}\n\
+                     reproduce with: {SEED_ENV}={seed:#x} cargo test {short}",
+                    short = name.rsplit("::").next().unwrap_or(name),
+                );
+            }
+        }
         return;
     }
 
@@ -140,27 +189,7 @@ where
             Err(msg) => msg,
         };
 
-        // Greedy shrink: simplify while the property keeps failing;
-        // when a candidate passes, complicate back toward the failure.
-        let mut last_msg = first;
-        let mut failing = tree.current();
-        for _ in 0..cfg.max_shrink_iters {
-            if !tree.simplify() {
-                break;
-            }
-            match probe(&mut test, tree.current()) {
-                Err(msg) => {
-                    last_msg = msg;
-                    failing = tree.current();
-                }
-                Ok(()) => {
-                    if !tree.complicate() {
-                        break;
-                    }
-                }
-            }
-        }
-
+        let (failing, last_msg) = shrink_failure(cfg, &mut tree, first, &mut test);
         panic!(
             "[testkit] property '{name}' failed (case {case_no} of {cases}).\n\
              minimal input: {failing:?}\n\

@@ -1,0 +1,94 @@
+//! Replay determinism for the shrinker: a failing property's report
+//! carries a `TESTKIT_SEED`, and re-running under that seed must not
+//! just regenerate the failing input — it must re-shrink it through
+//! the same greedy loop and land on the *same minimal case*. One known
+//! shrink is pinned (the `v >= 777` boundary property minimizes to
+//! exactly 777) so the loop itself cannot silently change shape.
+//!
+//! Everything lives in one test function: `TESTKIT_SEED` is a
+//! process-global environment variable, and integration tests run on
+//! parallel threads.
+
+use ndroid_testkit::runner::{run_property, Config, SEED_ENV};
+use std::panic::{self, AssertUnwindSafe};
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        panic!("non-string panic payload");
+    }
+}
+
+/// The property under test: fails on the upper ~92% of the range, so
+/// the first generated case almost certainly fails and the greedy
+/// shrinker must walk down to the 777 boundary.
+fn boundary_property(cfg: &Config) {
+    run_property(cfg, "shrink_determinism::boundary", &(0u32..10_000), |v| {
+        assert!(v < 777, "too big: {v}")
+    });
+}
+
+/// Pulls the `minimal input:` line out of a testkit failure report.
+fn minimal_input(report: &str) -> &str {
+    report
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("minimal input: "))
+        .unwrap_or_else(|| panic!("no minimal-input line in: {report}"))
+}
+
+#[test]
+fn seed_replay_shrinks_to_the_same_minimal_case() {
+    assert!(
+        std::env::var(SEED_ENV).is_err(),
+        "{SEED_ENV} must not leak into the test environment"
+    );
+    let cfg = Config::with_cases(64);
+
+    // Fresh run: fails, shrinks, reports seed + minimal input.
+    let fresh = panic_text(
+        panic::catch_unwind(AssertUnwindSafe(|| boundary_property(&cfg)))
+            .expect_err("boundary property must fail"),
+    );
+    assert_eq!(minimal_input(&fresh), "777", "pinned shrink: {fresh}");
+    let seed = fresh
+        .split("TESTKIT_SEED=")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no seed in report: {fresh}"));
+    assert!(seed.starts_with("0x"), "hex seed: {seed}");
+
+    // Replay run: same seed, same property — must fail again and
+    // re-shrink to the identical minimal case with the same assertion.
+    std::env::set_var(SEED_ENV, seed);
+    let replayed = panic::catch_unwind(AssertUnwindSafe(|| boundary_property(&cfg)));
+    std::env::remove_var(SEED_ENV);
+    let replayed = panic_text(replayed.expect_err("replay must reproduce the failure"));
+
+    assert!(
+        replayed.contains(&format!("replay of TESTKIT_SEED={seed}")),
+        "replay banner: {replayed}"
+    );
+    assert_eq!(
+        minimal_input(&replayed),
+        minimal_input(&fresh),
+        "replay shrank to a different minimum:\nfresh: {fresh}\nreplay: {replayed}"
+    );
+    assert!(
+        replayed.contains("too big: 777"),
+        "assertion message pinned to the minimum: {replayed}"
+    );
+
+    // And a passing property under the same seed is a no-op, not a
+    // panic (the seed belongs to the case stream, not the property).
+    std::env::set_var(SEED_ENV, seed);
+    let benign = panic::catch_unwind(AssertUnwindSafe(|| {
+        run_property(&cfg, "shrink_determinism::all_pass", &(0u32..10_000), |v| {
+            assert!(v < 10_000)
+        });
+    }));
+    std::env::remove_var(SEED_ENV);
+    benign.expect("passing property under a replay seed must not panic");
+}

@@ -2,11 +2,28 @@
 # Hermetic CI pass: build, test, and bench-smoke the whole workspace
 # with zero network/registry access. Fails if any dependency would be
 # resolved from a registry rather than a workspace path.
+#
+# Each stage prints its wall-clock on completion (`-- <stage>: Ns`), so
+# a slow CI run is attributable to a stage rather than the whole script.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== dependency graph is workspace-only =="
+CURRENT_STAGE=""
+STAGE_T0=0
+stage_end() {
+  if [ -n "$CURRENT_STAGE" ]; then
+    echo "-- ${CURRENT_STAGE}: $((SECONDS - STAGE_T0))s"
+  fi
+}
+stage() {
+  stage_end
+  CURRENT_STAGE="$1"
+  STAGE_T0=$SECONDS
+  echo "== ${CURRENT_STAGE} =="
+}
+
+stage "dependency graph is workspace-only"
 # With no lockfile entries for registry crates, --offline resolution
 # succeeds only if every dependency is a path dependency. Double-check
 # explicitly so a reintroduced crates.io dep fails loudly here.
@@ -20,13 +37,13 @@ if grep -o '"source":[^,]*' Cargo.lock 2>/dev/null | grep -q 'registry'; then
   exit 1
 fi
 
-echo "== cargo build --release --offline =="
+stage "cargo build --release --offline"
 cargo build --workspace --release --offline
 
-echo "== cargo test --offline =="
+stage "cargo test --offline"
 cargo test -q --workspace --offline
 
-echo "== differential taint oracle (pinned case count) =="
+stage "differential taint oracle (pinned case count)"
 # The testkit derives per-property seed streams deterministically from
 # the property name, so a fixed case count IS a pinned run: the same
 # >=200 generated ARM/Thumb programs (writeback, LDM/STM, SMC,
@@ -37,23 +54,35 @@ TESTKIT_CASES=256 cargo test -q --offline -p ndroid-core \
   --test oracle_prop --test oracle_regression
 TESTKIT_CASES=256 cargo test -q --offline -p ndroid-apps --test oracle_gallery
 
-echo "== batch farm: 4-worker merge must match the sequential golden =="
+stage "batch farm: 4-worker merge must match the sequential golden"
 # Runs the farm over the gallery + a pinned 32-sample corpus shard,
 # sequentially and at 4 workers, and exits non-zero unless the merged
 # BatchReport (and its rendering) is byte-identical.
 cargo run -q --release --offline -p ndroid-bench --bin exp_batch -- --workers 4
 
-echo "== provenance: gallery leak paths must match the golden transcript =="
+stage "provenance: gallery leak paths must match the golden transcript"
 # Runs each pinned gallery case at Level::Full and diffs every
 # reconstructed source->JNI->native->sink path against the checked-in
 # golden (crates/bench/src/bin/exp_provenance_golden.txt).
 cargo run -q --release --offline -p ndroid-bench --bin exp_provenance
 
-echo "== bench smoke pass (TESTKIT_BENCH_SMOKE=1) =="
+stage "adversarial corpus: detection matrix, scoring harness, leak-path golden"
+# The adversarial regression wall (pinned detection matrix, engine
+# bit-identity, provenance coverage, SMC invalidation counters, and the
+# TESTKIT_CASES-scaled mutated-spec property) plus the false-positive
+# control, then the exp_adversarial gate: the full corpus through the
+# 4-worker farm must score recall 1.0 / precision 1.0 and its score
+# matrix + leak-path transcript must match the checked-in golden
+# (crates/bench/src/bin/exp_adversarial_golden.txt).
+TESTKIT_CASES="${TESTKIT_CASES:-256}" cargo test -q --offline -p ndroid-apps \
+  --test adversarial_regression --test score_harness
+cargo run -q --release --offline -p ndroid-bench --bin exp_adversarial
+
+stage "bench smoke pass (TESTKIT_BENCH_SMOKE=1)"
 BENCH_DIR="$(mktemp -d)"
 TESTKIT_BENCH_SMOKE=1 TESTKIT_BENCH_DIR="$BENCH_DIR" \
   cargo bench -q --offline -p ndroid-bench
-for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json BENCH_oracle.json BENCH_batch.json BENCH_provenance.json; do
+for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json BENCH_oracle.json BENCH_batch.json BENCH_provenance.json BENCH_adversarial.json; do
   if [ ! -s "$BENCH_DIR/$f" ]; then
     echo "error: bench smoke did not produce $f" >&2
     exit 1
@@ -67,4 +96,5 @@ for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json BENCH_oracle.j
 done
 rm -rf "$BENCH_DIR"
 
+stage_end
 echo "== CI pass complete =="

@@ -7,7 +7,7 @@
 //! * TaintDroid never reports anything NDroid does not (it can only
 //!   under-taint, not over-taint).
 
-use ndroid::apps::synth::{build, FlowSpec, Hop, Sink, Source};
+use ndroid::apps::synth::{build, FlowSpec, Hop, Mutation, Sink, Source};
 use ndroid::core::Mode;
 use ndroid_testkit::prelude::*;
 
@@ -38,29 +38,42 @@ fn arb_sink() -> impl Strategy<Value = Sink> {
     ]
 }
 
+fn arb_mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        Just(Mutation::Xor29),
+        Just(Mutation::Reverse),
+        Just(Mutation::ConstStamp),
+        Just(Mutation::ImplicitOnly),
+    ]
+}
+
 fn arb_spec() -> impl Strategy<Value = FlowSpec> {
     (
         arb_source(),
         collection::vec(arb_hop(), 0..5),
         arb_sink(),
         any::<bool>(),
+        collection::vec(arb_mutation(), 0..3),
     )
-        .prop_map(|(source, hops, sink, leak)| FlowSpec {
+        .prop_map(|(source, hops, sink, leak, mutations)| FlowSpec {
             source,
             hops,
             sink,
             leak,
+            mutations,
         })
 }
 
 /// Expected detection under either tracking mode's *design*: the real
-/// leak, plus TaintDroid's conservative JNI return policy ("the return
-/// value will be tainted if any parameter is tainted", §II-B) — when
-/// the native return feeds a Java sink, the policy flags it even if
-/// the returned string is a decoy. NDroid runs on top of TaintDroid,
+/// leak surviving any taint-killing mutations
+/// ([`FlowSpec::expected_leak`]), plus TaintDroid's conservative JNI
+/// return policy ("the return value will be tainted if any parameter
+/// is tainted", §II-B) — when the native return feeds a Java sink,
+/// the policy flags it even if the returned string is a decoy (or a
+/// mutation severed the data flow). NDroid runs on top of TaintDroid,
 /// so it inherits that deliberate over-approximation.
 fn expected_flagged(spec: &FlowSpec) -> bool {
-    spec.leak || spec.sink == Sink::JavaSend
+    spec.expected_leak() || spec.sink == Sink::JavaSend
 }
 
 proptest! {
@@ -75,7 +88,7 @@ proptest! {
                 leaks.len(), 1,
                 "soundness: {:?} must be detected", spec
             );
-            if spec.leak {
+            if spec.expected_leak() {
                 prop_assert!(
                     leaks[0].taint.contains(spec.source.taint()),
                     "label preserved through {:?}: got {}",
