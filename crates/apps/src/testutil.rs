@@ -47,11 +47,17 @@ pub fn run_prov(
         .expect("app runs")
 }
 
-/// Runs both engines, asserts their reports agree on everything
-/// externally observable, and returns the reference-engine report for
-/// pinned-leak checks.
+/// Runs the three tracer configurations — the optimized engine with
+/// superblock dispatch (the default), the optimized engine stepping
+/// per instruction (`blocks(false)`), and the reference engine —
+/// asserts their reports agree on everything externally observable,
+/// and returns the reference-engine report for pinned-leak checks.
 pub fn assert_reports_match(build: impl Fn() -> App, name: &str) -> RunReport {
     let opt = run_engine(&build, EngineKind::Optimized);
+    let stepper = build()
+        .run_with(SystemConfig::ndroid().blocks(false))
+        .expect("blocks-off run")
+        .report();
     let reference = run_engine(&build, EngineKind::Reference);
     assert_eq!(opt.engine, EngineKind::Optimized);
     assert_eq!(
@@ -76,6 +82,26 @@ pub fn assert_reports_match(build: impl Fn() -> App, name: &str) -> RunReport {
         (opt.native_insns, opt.bytecodes),
         (reference.native_insns, reference.bytecodes),
         "{name}: engines executed different instruction counts"
+    );
+    // Superblock dispatch vs the per-instruction stepper on the same
+    // optimized engine: block compilation must be invisible to every
+    // externally observable result.
+    assert_eq!(
+        opt.sink_events, stepper.sink_events,
+        "{name}: sink-event reports diverge between blocks on/off"
+    );
+    assert_eq!(
+        opt.network_log, stepper.network_log,
+        "{name}: network logs diverge between blocks on/off"
+    );
+    assert_eq!(
+        opt.violations, stepper.violations,
+        "{name}: protection violations diverge between blocks on/off"
+    );
+    assert_eq!(
+        (opt.native_insns, opt.bytecodes),
+        (stepper.native_insns, stepper.bytecodes),
+        "{name}: blocks on/off executed different instruction counts"
     );
     reference
 }

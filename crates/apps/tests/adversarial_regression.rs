@@ -120,9 +120,11 @@ fn leak_paths_reconstruct_at_full_for_every_family() {
     }
 }
 
-/// The three SMC families force real invalidations: their code-page
-/// stores must be visible in the decoded-instruction cache statistics
-/// (this is what distinguishes them from the cooperative gallery).
+/// The SMC families force real invalidations in whichever code cache
+/// fronts the interpreter: with superblock dispatch (the default)
+/// their code-page stores must invalidate compiled blocks, and with
+/// blocks off the same stores must invalidate cached decodes (this is
+/// what distinguishes them from the cooperative gallery).
 #[test]
 fn smc_families_invalidate_the_decode_cache() {
     for build in [
@@ -133,10 +135,44 @@ fn smc_families_invalidate_the_decode_cache() {
     ] {
         let sys = build().run(Mode::NDroid).expect("app runs");
         assert!(
+            sys.blocks.invalidations > 0,
+            "self-patching must invalidate compiled blocks"
+        );
+        let sys = build()
+            .run_with(SystemConfig::ndroid().blocks(false))
+            .expect("app runs");
+        assert!(
             sys.icache.invalidations > 0,
             "self-patching must invalidate cached decodes"
         );
     }
+}
+
+/// The block-cache counters ride along in [`RunReport::stats`]: for
+/// the detour family the default run compiles and re-dispatches
+/// blocks (and invalidates them when the detour patches itself),
+/// while a blocks-off run surfaces all-zero counters.
+#[test]
+fn detour_family_surfaces_block_cache_counters() {
+    let sys = adversarial::detour_leak().run(Mode::NDroid).expect("app runs");
+    let stats = sys.report().stats.expect("ndroid stats");
+    assert_eq!(stats.blocks_built, sys.blocks.built);
+    assert_eq!(stats.block_hits, sys.blocks.hits);
+    assert_eq!(stats.block_misses, sys.blocks.misses);
+    assert_eq!(stats.block_invalidations, sys.blocks.invalidations);
+    assert!(stats.blocks_built > 0, "the detour body was compiled");
+    assert!(stats.block_misses > 0, "cold lookups preceded compilation");
+    assert!(stats.block_invalidations > 0, "the self-patch dropped stale blocks");
+
+    let off = adversarial::detour_leak()
+        .run_with(SystemConfig::ndroid().blocks(false))
+        .expect("app runs");
+    let stats = off.report().stats.expect("ndroid stats");
+    assert_eq!(
+        (stats.blocks_built, stats.block_hits, stats.block_misses, stats.block_invalidations),
+        (0, 0, 0, 0),
+        "blocks off: the cache is never consulted"
+    );
 }
 
 const SOURCES: [Source; 4] = [Source::Imei, Source::Contact, Source::Sms, Source::Location];

@@ -88,7 +88,21 @@ pub fn step_cached(
 
 #[inline]
 fn fetch_decode(cpu: &Cpu, mem: &Memory, pc: u32) -> Result<(Instr, u8), ArmError> {
-    if cpu.thumb {
+    decode_at(mem, pc, cpu.thumb)
+}
+
+/// Decodes the instruction at `pc` in the given instruction set,
+/// returning it together with its size in bytes. This is the fetch path
+/// [`step`] uses, exposed so block discovery can decode ahead of the
+/// program counter.
+///
+/// # Errors
+///
+/// [`ArmError::UndefinedInstruction`] for encodings outside the
+/// supported subset.
+#[inline]
+pub fn decode_at(mem: &Memory, pc: u32, thumb: bool) -> Result<(Instr, u8), ArmError> {
+    if thumb {
         decode_thumb(mem, pc)
     } else {
         Ok((decode_arm(mem.read_u32(pc), pc)?, 4))

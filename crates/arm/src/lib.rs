@@ -45,6 +45,7 @@
 //! ```
 
 pub mod asm;
+pub mod block;
 pub mod cond;
 pub mod cpu;
 pub mod decode;
@@ -59,6 +60,7 @@ pub mod reg;
 pub mod thumb;
 
 pub use asm::{Assembler, CodeBlock, Label};
+pub use block::{build_block, Block, BlockCache, BlockStep, TaintOp};
 pub use cond::Cond;
 pub use cpu::Cpu;
 pub use error::ArmError;

@@ -1,0 +1,132 @@
+//! Superblock (block-level taint compilation) benchmarks: the rate at
+//! which straight-line runs compile into effect programs, the fused
+//! block dispatch vs the per-instruction `step_cached` + `on_insn`
+//! tracer on a hot loop, and the end-to-end cfbench A/B behind the
+//! `SystemConfig::blocks` knob. Writes `BENCH_blocks.json`;
+//! `TESTKIT_BENCH_SMOKE=1` runs a minimal pass for CI.
+
+use ndroid_arm::block::{build_block, BlockCache};
+use ndroid_arm::exec::step_cached;
+use ndroid_arm::icache::DecodeCache;
+use ndroid_arm::{Assembler, Cond, Cpu, Memory, Reg};
+use ndroid_cfbench::all_kernels;
+use ndroid_core::{Mode, NDroidAnalysis, SystemConfig};
+use ndroid_emu::runtime::Analysis;
+use ndroid_emu::shadow::ShadowState;
+use ndroid_testkit::bench::{black_box, Suite};
+
+const SENTINEL: u32 = 0xFFFF_FF00;
+/// Kernel iterations for the end-to-end cfbench A/B.
+const KERNEL_ITERS: u32 = 500;
+
+/// A 64-iteration counted loop (the same shape the decode-cache bench
+/// uses, so the suites compare like with like).
+fn hot_loop(mem: &mut Memory, base: u32) {
+    let mut asm = Assembler::new(base);
+    asm.mov_imm(Reg::R4, 64).unwrap();
+    asm.mov_imm(Reg::R0, 0).unwrap();
+    let top = asm.here_label();
+    asm.add_imm(Reg::R0, Reg::R0, 1).unwrap();
+    asm.add_imm(Reg::R1, Reg::R1, 2).unwrap();
+    asm.add_imm(Reg::R2, Reg::R2, 3).unwrap();
+    asm.subs_imm(Reg::R4, Reg::R4, 1).unwrap();
+    asm.b_cond(Cond::Ne, top);
+    asm.bx(Reg::LR);
+    let code = asm.assemble().unwrap();
+    mem.write_bytes(base, &code.bytes);
+}
+
+/// Block compilation rate: decode + taint-lowering for a maximal
+/// 64-step straight-line block, built from scratch each time.
+fn build_benches(suite: &mut Suite) {
+    let base = 0x0001_0000;
+    let mut asm = Assembler::new(base);
+    for _ in 0..63 {
+        asm.add_imm(Reg::R0, Reg::R0, 1).unwrap();
+    }
+    asm.bx(Reg::LR);
+    let code = asm.assemble().unwrap();
+    let mut mem = Memory::new();
+    mem.write_bytes(base, &code.bytes);
+
+    suite.bench("blocks/build/64insn", || {
+        let b = build_block(&mem, base, false, |_| false).expect("block");
+        black_box(b.len());
+    });
+}
+
+/// The tentpole A/B at the dispatch level: one hot loop traced by the
+/// full NDroid analysis, once through `step_cached` + `on_insn` (the
+/// stepper) and once through cached effect programs (`on_block`).
+fn exec_benches(suite: &mut Suite) {
+    let base = 0x0001_0000;
+    let mut mem = Memory::new();
+    hot_loop(&mut mem, base);
+
+    let mut cpu = Cpu::new();
+    let mut analysis = NDroidAnalysis::new();
+    let mut shadow = ShadowState::new();
+    let mut icache = DecodeCache::new();
+    suite.bench("exec/hot_loop/stepper_traced", || {
+        cpu.regs[14] = SENTINEL;
+        cpu.set_pc(base);
+        while cpu.pc() != SENTINEL {
+            let effect = step_cached(&mut cpu, &mut mem, &mut icache).expect("step");
+            analysis.on_insn(&mut shadow, &cpu, &mem, &effect);
+        }
+        black_box(cpu.regs[0]);
+    });
+
+    let mut cpu = Cpu::new();
+    let mut analysis = NDroidAnalysis::new();
+    let mut shadow = ShadowState::new();
+    let mut blocks = BlockCache::new();
+    suite.bench("exec/hot_loop/block_traced", || {
+        cpu.regs[14] = SENTINEL;
+        cpu.set_pc(base);
+        let mut budget = 1_000_000u64;
+        while cpu.pc() != SENTINEL {
+            let pc = cpu.pc();
+            if let Some(block) = blocks.lookup(&mem, pc, cpu.thumb) {
+                analysis
+                    .on_block(&mut shadow, &mut cpu, &mut mem, block, &mut budget)
+                    .expect("block run");
+            } else {
+                let block =
+                    build_block(&mem, pc, cpu.thumb, |_| false).expect("block");
+                let block = blocks.insert(&mem, block);
+                analysis
+                    .on_block(&mut shadow, &mut cpu, &mut mem, block, &mut budget)
+                    .expect("block run");
+            }
+        }
+        black_box(cpu.regs[0]);
+    });
+}
+
+/// End-to-end cfbench kernels with superblock dispatch toggled via the
+/// `SystemConfig::blocks` knob — the headline multiple lives here.
+fn cfbench_ab_benches(suite: &mut Suite) {
+    let kernels = all_kernels();
+    for name in ["Native MIPS", "Native Memory Read"] {
+        let kernel = kernels
+            .iter()
+            .find(|k| k.name == name)
+            .expect("known kernel");
+        for (variant, enabled) in [("blocks_off", false), ("blocks_on", true)] {
+            let mut sys =
+                kernel.boot_with(SystemConfig::new(Mode::NDroid).quiet(true).blocks(enabled));
+            suite.bench(&format!("cfbench/{name}/{variant}"), || {
+                black_box(kernel.run(&mut sys, KERNEL_ITERS));
+            });
+        }
+    }
+}
+
+fn main() {
+    let mut suite = Suite::new("blocks");
+    build_benches(&mut suite);
+    exec_benches(&mut suite);
+    cfbench_ab_benches(&mut suite);
+    suite.finish();
+}

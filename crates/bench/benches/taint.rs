@@ -130,6 +130,10 @@ fn cfbench_ab_benches(suite: &mut Suite) {
         for (variant, enabled) in [("icache_off", false), ("icache_on", true)] {
             let mut sys = kernel.boot(Mode::NDroid);
             sys.icache.enabled = enabled;
+            // Superblock dispatch would bypass the decode cache
+            // entirely; keep it off so this A/B measures the stepper's
+            // cache (the block-path A/B lives in BENCH_blocks.json).
+            sys.blocks.enabled = false;
             suite.bench(&format!("cfbench/{name}/{variant}"), || {
                 black_box(kernel.run(&mut sys, KERNEL_ITERS));
             });

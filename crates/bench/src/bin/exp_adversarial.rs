@@ -8,7 +8,9 @@
 //! golden below and the aggregate score must be perfect (recall 1.0 on
 //! taint-preserving cases, precision 1.0 on taint-killing and benign
 //! cases) — either divergence exits 1. Pass `--bless` to rewrite the
-//! golden after an intentional corpus change.
+//! golden after an intentional corpus change, and `--no-blocks` to run
+//! the whole gate with superblock dispatch disabled (the stepper
+//! tracer must reproduce the identical matrix and transcript).
 
 use ndroid_apps::adversarial::{corpus, expected_leak};
 use ndroid_apps::farm::adversarial_jobs;
@@ -28,12 +30,13 @@ const GOLDEN_PATH: &str = concat!(
 /// One case's leak-path transcript at `Level::Full`: every
 /// reconstructed source→sink path for leaking cases, a pinned "clean"
 /// line for the rest.
-fn render_case(case: &ndroid_apps::adversarial::AdversarialCase) -> String {
+fn render_case(case: &ndroid_apps::adversarial::AdversarialCase, blocks: bool) -> String {
     let sys = case
         .build()
         .run_with(
             SystemConfig::ndroid()
                 .quiet(true)
+                .blocks(blocks)
                 .provenance(ProvenanceLevel::Full),
         )
         .expect("adversarial case runs");
@@ -57,9 +60,10 @@ fn render_case(case: &ndroid_apps::adversarial::AdversarialCase) -> String {
 
 fn main() {
     let bless = std::env::args().any(|a| a == "--bless");
+    let blocks = !std::env::args().any(|a| a == "--no-blocks");
 
     let batch = run_batch(
-        adversarial_jobs(&SystemConfig::ndroid().quiet(true)),
+        adversarial_jobs(&SystemConfig::ndroid().quiet(true).blocks(blocks)),
         BatchConfig::new(4),
     );
     let score = score_batch(&batch, expected_leak);
@@ -67,7 +71,7 @@ fn main() {
     let mut actual = score.render();
     actual.push('\n');
     for case in corpus() {
-        actual.push_str(&render_case(&case));
+        actual.push_str(&render_case(&case, blocks));
     }
     print!("{actual}");
 

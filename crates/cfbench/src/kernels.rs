@@ -37,11 +37,16 @@ impl std::fmt::Debug for Kernel {
 impl Kernel {
     /// Boots a fresh system for this kernel under `mode`.
     pub fn boot(&self, mode: Mode) -> NDroidSystem {
+        self.boot_with(SystemConfig::new(mode).quiet(true))
+    }
+
+    /// Boots a fresh system for this kernel under an explicit
+    /// configuration (A/B runs flip knobs like `blocks`/`icache`).
+    pub fn boot_with(&self, config: SystemConfig) -> NDroidSystem {
         let mut program = Program::new();
         install_framework(&mut program);
         install_java_kernels(&mut program);
-        let mut sys =
-            NDroidSystem::from_config(program, SystemConfig::new(mode).quiet(true));
+        let mut sys = NDroidSystem::from_config(program, config);
         let code = native_kernel_code();
         sys.load_native(&code, "libcfbench.so");
         sys.mem.write_cstr(PATH_STR, b"/data/bench.bin");

@@ -4,8 +4,9 @@
 
 use crate::config::SourcePolicyOverride;
 use crate::source_policy::{SourcePolicy, SourcePolicyMap};
-use crate::tracer::{propagate, HandlerCache};
-use ndroid_arm::exec::Effect;
+use crate::tracer::{apply_taint_op, propagate, HandlerCache};
+use ndroid_arm::block::Block;
+use ndroid_arm::exec::{step_decoded, Effect};
 use ndroid_arm::{Cpu, Memory};
 use ndroid_dvm::{Dvm, MethodId, Taint};
 use ndroid_emu::layout::in_native_code;
@@ -38,6 +39,14 @@ pub struct AnalysisStats {
     pub jni_entries: u64,
     /// SourcePolicies created (tainted-parameter entries only).
     pub source_policies: u64,
+    /// Superblock dispatches served from the block cache.
+    pub block_hits: u64,
+    /// Block-cache lookups that missed (cold or stale page).
+    pub block_misses: u64,
+    /// Block-cache pages dropped because the code bytes changed.
+    pub block_invalidations: u64,
+    /// Effect programs compiled (blocks built).
+    pub blocks_built: u64,
 }
 
 /// A guest-integrity violation: third-party native code wrote into a
@@ -308,6 +317,70 @@ impl Analysis for NDroidAnalysis {
         }
         let written = propagate(shadow, effect);
         self.note_written(&shadow.prov, effect.pc, written);
+    }
+
+    fn on_block(
+        &mut self,
+        shadow: &mut ShadowState,
+        cpu: &mut Cpu,
+        mem: &mut Memory,
+        block: &Block,
+        budget: &mut u64,
+    ) -> Result<(), ndroid_emu::EmuError> {
+        for step in block.steps() {
+            if *budget == 0 {
+                return Err(ndroid_emu::EmuError::Timeout { budget: 0 });
+            }
+            *budget -= 1;
+            let effect = step_decoded(cpu, mem, step.instr, step.size)?;
+            // An executed store overlapping the block's own code page:
+            // the stepper-mode tracer re-identifies instruction bytes
+            // from guest memory *after* execution, so a self-overwrite
+            // must be classified from the freshly written word.
+            // Delegate this one step to `on_insn` verbatim, then
+            // abandon the block — its remaining pre-compiled steps can
+            // no longer be trusted.
+            let own_page_store = step.store_bytes != 0
+                && effect.executed
+                && effect
+                    .addr
+                    .map_or(false, |a| block.store_hits_code(a, step.store_bytes));
+            if own_page_store {
+                self.on_insn(shadow, cpu, mem, &effect);
+                if let Some(b) = effect.branch {
+                    self.on_branch(shadow, b.from, b.to);
+                }
+                return Ok(());
+            }
+            // Fused fast path: classification and taint semantics were
+            // pre-compiled into the block's effect program, so neither
+            // the per-PC handler cache nor the Table V dispatch runs.
+            if !step.relevant {
+                self.stats.insns_skipped += 1;
+            } else {
+                self.stats.insns_traced += 1;
+                if self.protect_taints && effect.executed && step.is_store {
+                    if let Some(addr) = effect.addr {
+                        if let Some(region) = protected_region(addr) {
+                            self.violations.push(ProtectionViolation {
+                                pc: effect.pc,
+                                addr,
+                                region,
+                            });
+                        }
+                    }
+                }
+                if effect.executed {
+                    let written = apply_taint_op(shadow, &step.taint, &effect);
+                    self.note_written(&shadow.prov, effect.pc, written);
+                }
+            }
+            if let Some(b) = effect.branch {
+                self.on_branch(shadow, b.from, b.to);
+                return Ok(());
+            }
+        }
+        Ok(())
     }
 
     fn on_branch(&mut self, shadow: &mut ShadowState, from: u32, to: u32) {

@@ -75,6 +75,11 @@ pub struct SystemConfig {
     /// Whether the decoded-instruction cache is enabled. Forced off
     /// when `engine` is [`EngineKind::Reference`].
     pub icache: bool,
+    /// Whether superblock dispatch is enabled: straight-line runs are
+    /// compiled once into cached effect programs and replayed as a
+    /// single dispatch per block. Forced off when `engine` is
+    /// [`EngineKind::Reference`].
+    pub blocks: bool,
     /// Guest instruction budget for the whole session.
     pub budget: u64,
     /// Whether the §V-C hot-handler cache is consulted (ablation D5).
@@ -100,6 +105,7 @@ impl SystemConfig {
             engine: EngineKind::Optimized,
             quiet: false,
             icache: true,
+            blocks: true,
             budget: 200_000_000,
             handler_cache: true,
             gate_hooks: true,
@@ -145,6 +151,13 @@ impl SystemConfig {
     #[must_use]
     pub fn icache(mut self, enabled: bool) -> SystemConfig {
         self.icache = enabled;
+        self
+    }
+
+    /// Turns superblock dispatch (cached effect programs) on or off.
+    #[must_use]
+    pub fn blocks(mut self, enabled: bool) -> SystemConfig {
+        self.blocks = enabled;
         self
     }
 
@@ -209,6 +222,7 @@ mod tests {
         assert_eq!(c.engine, EngineKind::Optimized);
         assert!(!c.quiet);
         assert!(c.icache);
+        assert!(c.blocks);
         assert_eq!(c.budget, 200_000_000);
         assert!(c.handler_cache);
         assert!(c.gate_hooks);
@@ -223,6 +237,7 @@ mod tests {
             .reference()
             .quiet(true)
             .icache(false)
+            .blocks(false)
             .budget(1_000)
             .handler_cache(false)
             .gate_hooks(false)
@@ -231,7 +246,7 @@ mod tests {
             .provenance(Level::Full);
         assert_eq!(c.mode, Mode::NDroid);
         assert_eq!(c.engine, EngineKind::Reference);
-        assert!(c.quiet && !c.icache && !c.handler_cache);
+        assert!(c.quiet && !c.icache && !c.blocks && !c.handler_cache);
         assert_eq!(c.budget, 1_000);
         assert!(!c.gate_hooks && !c.protect_taints);
         assert_eq!(c.source_policies, SourcePolicyOverride::Never);

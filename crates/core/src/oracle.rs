@@ -23,6 +23,7 @@
 //! [`ReferenceAnalysis`] substituted for the optimized analysis.
 
 use crate::analysis::{protected_region, NDroidAnalysis, ProtectionViolation};
+use ndroid_arm::block::{build_block, BlockCache};
 use ndroid_arm::exec::{step, step_cached, Effect};
 use ndroid_arm::icache::DecodeCache;
 use ndroid_arm::insn::{Instr, MemOffset, Op2, VfpOp, VfpPrec};
@@ -464,6 +465,72 @@ pub fn run_optimized(
     }
 }
 
+/// Runs a program under the **superblock** pipeline: the same
+/// [`NDroidAnalysis`] as [`run_optimized`], but dispatched through a
+/// fresh [`BlockCache`] the way the emulator run loop does it —
+/// straight-line runs compiled once into effect programs and replayed
+/// via [`Analysis::on_block`], with the per-instruction stepper as the
+/// fallback when no block can be built. `p.max_steps` is enforced
+/// through the block path's budget contract, so the retired-step count
+/// must agree with the stepper engines bit for bit.
+pub fn run_blocks(
+    p: &OracleProgram,
+    analysis: &mut NDroidAnalysis,
+    shadow: &mut ShadowState,
+) -> EngineRun {
+    let (mut cpu, mut mem) = seed_cpu_mem(p);
+    shadow.regs = p.reg_taints;
+    for (addr, len, t) in &p.mem_taints {
+        shadow.mem.set_range(*addr, *len, *t);
+    }
+    let mut icache = DecodeCache::new();
+    let mut blocks = BlockCache::new();
+    let mut budget = p.max_steps;
+    let stop = loop {
+        let pc = cpu.pc();
+        if pc == RETURN_SENTINEL {
+            break StopReason::Returned;
+        }
+        let dispatched = if let Some(block) = blocks.lookup(&mem, pc, cpu.thumb) {
+            Some(analysis.on_block(shadow, &mut cpu, &mut mem, block, &mut budget))
+        } else if let Some(block) = build_block(&mem, pc, cpu.thumb, |_| false) {
+            let block = blocks.insert(&mem, block);
+            Some(analysis.on_block(shadow, &mut cpu, &mut mem, block, &mut budget))
+        } else {
+            None
+        };
+        match dispatched {
+            Some(Ok(())) => continue,
+            Some(Err(ndroid_emu::EmuError::Timeout { .. })) => break StopReason::MaxSteps,
+            Some(Err(_)) => break StopReason::Fault,
+            None => {
+                // No block could be built (undecodable entry): the
+                // stepper fallback, under the same budget accounting.
+                if budget == 0 {
+                    break StopReason::MaxSteps;
+                }
+                budget -= 1;
+                match step_cached(&mut cpu, &mut mem, &mut icache) {
+                    Ok(effect) => analysis.on_insn(shadow, &cpu, &mem, &effect),
+                    Err(_) => break StopReason::Fault,
+                }
+            }
+        }
+    };
+    // The budget is charged before each attempted step, so a faulting
+    // instruction paid for itself without retiring.
+    let steps = match stop {
+        StopReason::Fault => p.max_steps - budget - 1,
+        _ => p.max_steps - budget,
+    };
+    EngineRun {
+        regs: cpu.regs,
+        thumb: cpu.thumb,
+        steps,
+        stop,
+    }
+}
+
 /// Runs a program under the **reference** engine: plain `step` (no
 /// decoded-instruction cache) plus [`ref_propagate`] into a
 /// [`RefShadowState`] (sparse map, no handler cache).
@@ -560,9 +627,10 @@ pub struct OracleVerdict {
     pub violations: usize,
 }
 
-/// Runs a program under both engines and demands byte-for-byte
-/// equality of the final taint state, the architectural state, and
-/// the recorded protection violations.
+/// Runs a program under all three engines — the optimized stepper, the
+/// superblock pipeline, and the reference interpreter — and demands
+/// byte-for-byte equality of the final taint state, the architectural
+/// state, and the recorded protection violations.
 ///
 /// # Errors
 ///
@@ -573,6 +641,10 @@ pub fn check_oracle(p: &OracleProgram) -> Result<OracleVerdict, String> {
     let mut opt_shadow = ShadowState::new();
     let opt_run = run_optimized(p, &mut analysis, &mut opt_shadow);
 
+    let mut blk_analysis = NDroidAnalysis::new();
+    let mut blk_shadow = ShadowState::new();
+    let blk_run = run_blocks(p, &mut blk_analysis, &mut blk_shadow);
+
     let mut ref_shadow = RefShadowState::new();
     let ref_run = run_reference(p, &mut ref_shadow);
 
@@ -582,7 +654,24 @@ pub fn check_oracle(p: &OracleProgram) -> Result<OracleVerdict, String> {
             "architectural divergence: optimized {opt_run:?} != reference {ref_run:?}"
         ));
     }
+    if blk_run != ref_run {
+        diffs.push(format!(
+            "architectural divergence: blocks {blk_run:?} != reference {ref_run:?}"
+        ));
+    }
     diffs.extend(diff_taint_state(&opt_shadow, &ref_shadow));
+    diffs.extend(
+        diff_taint_state(&blk_shadow, &ref_shadow)
+            .into_iter()
+            .map(|d| format!("[blocks] {d}")),
+    );
+    if blk_analysis.violations != analysis.violations {
+        diffs.push(format!(
+            "protection violations: blocks {} != optimized {}",
+            blk_analysis.violations.len(),
+            analysis.violations.len()
+        ));
+    }
 
     // The reference protector is shared logic, but re-run it anyway:
     // a HandlerCache skip also swallows violation recording.

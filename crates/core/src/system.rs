@@ -96,6 +96,10 @@ pub struct NDroidSystem {
     /// invalidated against memory write generations; `enabled` is the
     /// A/B knob the `BENCH_taint` suite flips).
     pub icache: ndroid_arm::icache::DecodeCache,
+    /// Superblock cache: straight-line effect programs compiled once
+    /// per (page, entry) and replayed as single dispatches, invalidated
+    /// against the same memory write generations as the icache.
+    pub blocks: ndroid_arm::block::BlockCache,
     analysis: AnalysisBox,
     /// The configuration this system runs under.
     pub mode: Mode,
@@ -214,6 +218,8 @@ impl NDroidSystem {
         let mut icache = ndroid_arm::icache::DecodeCache::new();
         // The reference engine runs with no fast path at all.
         icache.enabled = config.icache && config.engine == EngineKind::Optimized;
+        let mut blocks = ndroid_arm::block::BlockCache::new();
+        blocks.enabled = config.blocks && config.engine == EngineKind::Optimized;
         let mut shadow = ShadowState::new();
         shadow.prov = prov.clone();
         let mut kernel = Kernel::new();
@@ -233,6 +239,7 @@ impl NDroidSystem {
             table,
             tasks,
             icache,
+            blocks,
             analysis,
             mode,
             prov,
@@ -298,6 +305,7 @@ impl NDroidSystem {
             analysis: self.analysis.as_dyn(),
             budget: &mut self.budget,
             icache: &mut self.icache,
+            blocks: &mut self.blocks,
             table: &self.table,
         };
         self.dvm.invoke_with(m, args, &mut runner)
@@ -324,6 +332,7 @@ impl NDroidSystem {
             analysis: self.analysis.as_dyn(),
             budget: &mut self.budget,
             icache: &mut self.icache,
+            blocks: &mut self.blocks,
         };
         ndroid_emu::runtime::call_guest(&mut ctx, &self.table, entry, args, |_, _| {})
     }
@@ -378,13 +387,21 @@ impl NDroidSystem {
     /// [`crate::batch::BatchReport`] and the experiment binaries all
     /// build from this instead of poking at the system.
     pub fn report(&self) -> RunReport {
-        let (violations, stats) = match &self.analysis {
+        let (violations, mut stats) = match &self.analysis {
             AnalysisBox::NDroid(a) => (a.violations.clone(), Some(a.stats.clone())),
             AnalysisBox::Reference(a) => {
                 (a.violations().to_vec(), Some(a.inner().stats.clone()))
             }
             _ => (Vec::new(), None),
         };
+        // Surface the block-cache counters (held by the session cache,
+        // not the analysis) alongside the analysis statistics.
+        if let Some(s) = stats.as_mut() {
+            s.block_hits = self.blocks.hits;
+            s.block_misses = self.blocks.misses;
+            s.block_invalidations = self.blocks.invalidations;
+            s.blocks_built = self.blocks.built;
+        }
         RunReport {
             mode: self.mode,
             engine: self.engine(),

@@ -23,6 +23,7 @@
 //! untainted value, the taint will be propagated to it" — loads union
 //! the base register's taint into the result.
 
+use ndroid_arm::block::{TaintOp, NO_REG};
 use ndroid_arm::exec::Effect;
 use ndroid_arm::insn::{Instr, MemOffset, Op2, VfpOp, VfpPrec};
 use ndroid_arm::mem::{Memory, PAGE_SHIFT};
@@ -217,6 +218,164 @@ pub fn propagate(shadow: &mut ShadowState, effect: &Effect) -> Taint {
             }
         }
         Instr::VfpMrs { .. } => {}
+    }
+    written
+}
+
+/// Applies one pre-compiled [`TaintOp`] from a block's effect program —
+/// the superblock-compiled twin of [`propagate`].
+///
+/// The caller guarantees the instruction's condition passed
+/// (`effect.executed`); a skipped instruction must simply not be
+/// applied, exactly as [`propagate`] returns early for it. Everything
+/// else — the `ops` counter, the address guard, writeback ordering, the
+/// written-taint return contract — mirrors [`propagate`] bit for bit;
+/// the `lowered_ops_match_propagate` differential test below pins the
+/// two implementations together.
+pub fn apply_taint_op(shadow: &mut ShadowState, op: &TaintOp, effect: &Effect) -> Taint {
+    shadow.ops += 1;
+    let mut written = Taint::CLEAR;
+    match *op {
+        TaintOp::Nop => {}
+        TaintOp::SetReg { rd, srcs } => {
+            let mut t = Taint::CLEAR;
+            let mut m = srcs;
+            while m != 0 {
+                t |= shadow.regs[m.trailing_zeros() as usize];
+                m &= m - 1;
+            }
+            shadow.regs[rd as usize] = t;
+            written |= t;
+        }
+        TaintOp::Load {
+            rd,
+            rn,
+            rm,
+            width,
+            wb,
+        } => {
+            let Some(addr) = effect.addr else {
+                return Taint::CLEAR;
+            };
+            if wb {
+                shadow.regs[rn as usize] |= shadow.regs[rm as usize];
+                written |= shadow.regs[rn as usize];
+            }
+            let mut t = shadow.mem.range_taint(addr, width as u32) | shadow.regs[rn as usize];
+            if rm != NO_REG {
+                t |= shadow.regs[rm as usize];
+            }
+            if rd != 15 {
+                shadow.regs[rd as usize] = t;
+                written |= t;
+            }
+        }
+        TaintOp::Store {
+            rd,
+            rn,
+            rm,
+            width,
+            wb,
+        } => {
+            let Some(addr) = effect.addr else {
+                return Taint::CLEAR;
+            };
+            if wb {
+                shadow.regs[rn as usize] |= shadow.regs[rm as usize];
+                written |= shadow.regs[rn as usize];
+            }
+            shadow
+                .mem
+                .set_range(addr, width as u32, shadow.regs[rd as usize]);
+            written |= shadow.regs[rd as usize];
+        }
+        TaintOp::LoadMulti { rn, regs } => {
+            let Some(start) = effect.addr else {
+                return Taint::CLEAR;
+            };
+            let base_taint = shadow.regs[rn as usize];
+            for (i, r) in regs.iter().enumerate() {
+                let slot = start.wrapping_add(4 * i as u32);
+                let t = shadow.mem.range_taint(slot, 4) | base_taint;
+                if r != Reg::PC {
+                    shadow.regs[r.index()] = t;
+                    written |= t;
+                }
+            }
+        }
+        TaintOp::StoreMulti { regs } => {
+            let Some(start) = effect.addr else {
+                return Taint::CLEAR;
+            };
+            for (i, r) in regs.iter().enumerate() {
+                let slot = start.wrapping_add(4 * i as u32);
+                shadow.mem.set_range(slot, 4, shadow.regs[r.index()]);
+                written |= shadow.regs[r.index()];
+            }
+        }
+        TaintOp::VfpAlu {
+            prec,
+            fd,
+            fn_,
+            fm,
+            mov,
+        } => {
+            let t = match prec {
+                VfpPrec::F32 => {
+                    let mut t = shadow.vfp[(fm & 31) as usize];
+                    if !mov {
+                        t |= shadow.vfp[(fn_ & 31) as usize];
+                    }
+                    t
+                }
+                VfpPrec::F64 => {
+                    let mut t = shadow.vfp[((fm & 15) * 2) as usize]
+                        | shadow.vfp[((fm & 15) * 2 + 1) as usize];
+                    if !mov {
+                        t |= shadow.vfp[((fn_ & 15) * 2) as usize]
+                            | shadow.vfp[((fn_ & 15) * 2 + 1) as usize];
+                    }
+                    t
+                }
+            };
+            match prec {
+                VfpPrec::F32 => shadow.vfp[(fd & 31) as usize] = t,
+                VfpPrec::F64 => {
+                    shadow.vfp[((fd & 15) * 2) as usize] = t;
+                    shadow.vfp[((fd & 15) * 2 + 1) as usize] = t;
+                }
+            }
+            written |= t;
+        }
+        TaintOp::VfpLoad { prec, fd, rn } => {
+            let Some(addr) = effect.addr else {
+                return Taint::CLEAR;
+            };
+            let width = if prec == VfpPrec::F64 { 8 } else { 4 };
+            let t = shadow.mem.range_taint(addr, width) | shadow.regs[rn as usize];
+            match prec {
+                VfpPrec::F32 => shadow.vfp[(fd & 31) as usize] = t,
+                VfpPrec::F64 => {
+                    shadow.vfp[((fd & 15) * 2) as usize] = t;
+                    shadow.vfp[((fd & 15) * 2 + 1) as usize] = t;
+                }
+            }
+            written |= t;
+        }
+        TaintOp::VfpStore { prec, fd } => {
+            let Some(addr) = effect.addr else {
+                return Taint::CLEAR;
+            };
+            let width = if prec == VfpPrec::F64 { 8 } else { 4 };
+            let t = match prec {
+                VfpPrec::F32 => shadow.vfp[(fd & 31) as usize],
+                VfpPrec::F64 => {
+                    shadow.vfp[((fd & 15) * 2) as usize] | shadow.vfp[((fd & 15) * 2 + 1) as usize]
+                }
+            };
+            shadow.mem.set_range(addr, width, t);
+            written |= t;
+        }
     }
     written
 }
@@ -767,6 +926,201 @@ mod tests {
         };
         propagate(&mut sh, &eff(instr, Some(0x5000)));
         assert_eq!(sh.regs[1], Taint::SMS | Taint::CONTACTS);
+    }
+
+    /// Differential pin: for every instruction shape the tracer
+    /// understands, `lower_taint` + `apply_taint_op` must leave the
+    /// shadow state (registers, VFP, memory, ops counter) and the
+    /// written-taint return bit-identical to `propagate` — and the
+    /// block-time relevance classification must equal the handler
+    /// cache's.
+    #[test]
+    fn lowered_ops_match_propagate() {
+        use ndroid_arm::block::{is_taint_relevant, lower_taint};
+
+        let reg_off = |rm| MemOffset::Reg {
+            rm,
+            kind: ShiftKind::Lsl,
+            amount: 0,
+        };
+        let cases: Vec<(Instr, Option<u32>)> = vec![
+            (dp(DpOp::Add, Reg::R0, Reg::R1, Op2::reg(Reg::R2)), None),
+            (
+                dp(DpOp::Add, Reg::R0, Reg::R1, Op2::encode_imm(4).unwrap()),
+                None,
+            ),
+            (
+                dp(DpOp::Mov, Reg::R0, Reg::R0, Op2::encode_imm(7).unwrap()),
+                None,
+            ),
+            (dp(DpOp::Mov, Reg::R0, Reg::R0, Op2::reg(Reg::R3)), None),
+            (dp(DpOp::Cmp, Reg::R0, Reg::R0, Op2::reg(Reg::R1)), None),
+            (dp(DpOp::Add, Reg::PC, Reg::R1, Op2::reg(Reg::R2)), None),
+            (
+                dp(
+                    DpOp::Mov,
+                    Reg::R0,
+                    Reg::R0,
+                    Op2::RegShiftReg {
+                        rm: Reg::R2,
+                        kind: ShiftKind::Lsl,
+                        rs: Reg::R3,
+                    },
+                ),
+                None,
+            ),
+            (
+                Instr::Mul {
+                    cond: Cond::Al,
+                    s: false,
+                    rd: Reg::R0,
+                    rm: Reg::R1,
+                    rs: Reg::R2,
+                    acc: Some(Reg::R3),
+                },
+                None,
+            ),
+            (mem_instr(true, true, false, MemOffset::Imm(0)), Some(0x5000)),
+            (mem_instr(true, true, true, reg_off(Reg::R2)), Some(0x5000)),
+            (mem_instr(true, false, false, reg_off(Reg::R2)), Some(0x5000)),
+            (mem_instr(false, true, false, MemOffset::Imm(0)), Some(0x6000)),
+            (mem_instr(false, false, false, reg_off(Reg::R2)), Some(0x6000)),
+            (
+                Instr::Mem {
+                    cond: Cond::Al,
+                    load: true,
+                    size: MemSize::Byte,
+                    rd: Reg::PC,
+                    rn: Reg::R1,
+                    offset: reg_off(Reg::R2),
+                    pre: false,
+                    up: true,
+                    writeback: false,
+                },
+                Some(0x5000),
+            ),
+            (
+                Instr::MemMulti {
+                    cond: Cond::Al,
+                    load: true,
+                    rn: Reg::R1,
+                    mode: AddrMode4::Ia,
+                    writeback: true,
+                    regs: RegList::of(&[Reg::R4, Reg::R5, Reg::PC]),
+                },
+                Some(0x8000),
+            ),
+            (
+                Instr::MemMulti {
+                    cond: Cond::Al,
+                    load: false,
+                    rn: Reg::SP,
+                    mode: AddrMode4::Db,
+                    writeback: true,
+                    regs: RegList::of(&[Reg::R4, Reg::R5]),
+                },
+                Some(0x8000),
+            ),
+            (
+                Instr::Vfp {
+                    cond: Cond::Al,
+                    op: VfpOp::Add,
+                    prec: VfpPrec::F64,
+                    fd: 0,
+                    fn_: 1,
+                    fm: 2,
+                },
+                None,
+            ),
+            (
+                Instr::Vfp {
+                    cond: Cond::Al,
+                    op: VfpOp::Mov,
+                    prec: VfpPrec::F32,
+                    fd: 7,
+                    fn_: 0,
+                    fm: 2,
+                },
+                None,
+            ),
+            (
+                Instr::Vfp {
+                    cond: Cond::Al,
+                    op: VfpOp::Cmp,
+                    prec: VfpPrec::F32,
+                    fd: 0,
+                    fn_: 1,
+                    fm: 2,
+                },
+                None,
+            ),
+            (
+                Instr::VfpMem {
+                    cond: Cond::Al,
+                    load: true,
+                    prec: VfpPrec::F64,
+                    fd: 1,
+                    rn: Reg::R1,
+                    offset: 0,
+                    up: true,
+                },
+                Some(0x9000),
+            ),
+            (
+                Instr::VfpMem {
+                    cond: Cond::Al,
+                    load: false,
+                    prec: VfpPrec::F32,
+                    fd: 2,
+                    rn: Reg::R1,
+                    offset: 0,
+                    up: true,
+                },
+                Some(0x9000),
+            ),
+            (Instr::VfpMrs { cond: Cond::Al }, None),
+        ];
+
+        let setup = |sh: &mut ShadowState| {
+            sh.regs[1] = Taint::IMEI;
+            sh.regs[2] = Taint::SMS;
+            sh.regs[3] = Taint::CONTACTS;
+            sh.regs[4] = Taint::MIC;
+            sh.regs[5] = Taint::LOCATION_GPS;
+            sh.vfp[2] = Taint::LOCATION_GPS;
+            sh.vfp[4] = Taint::MIC;
+            sh.vfp[5] = Taint::SMS;
+            sh.mem.set_range(0x5000, 4, Taint::SMS);
+            sh.mem.set_range(0x8000, 8, Taint::CONTACTS);
+            sh.mem.set_range(0x9000, 8, Taint::MIC);
+        };
+
+        for (instr, addr) in cases {
+            assert_eq!(
+                is_taint_relevant(&instr),
+                HandlerCache::classify(&instr),
+                "classification parity for {instr:?}"
+            );
+            let e = eff(instr, addr);
+            let mut a = ShadowState::new();
+            let mut b = ShadowState::new();
+            setup(&mut a);
+            setup(&mut b);
+            let w_prop = propagate(&mut a, &e);
+            let op = lower_taint(&instr);
+            let w_block = apply_taint_op(&mut b, &op, &e);
+            assert_eq!(w_prop, w_block, "written-taint parity for {instr:?}");
+            assert_eq!(a.regs, b.regs, "register parity for {instr:?}");
+            assert_eq!(a.vfp, b.vfp, "vfp parity for {instr:?}");
+            assert_eq!(a.ops, b.ops, "ops-counter parity for {instr:?}");
+            for p in 0x4FF0u32..0x9040 {
+                assert_eq!(
+                    a.mem.range_taint(p, 1),
+                    b.mem.range_taint(p, 1),
+                    "memory parity at {p:#x} for {instr:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -24,7 +24,8 @@ use crate::kernel::Kernel;
 use crate::layout::RETURN_SENTINEL;
 use crate::shadow::ShadowState;
 use crate::trace::TraceLog;
-use ndroid_arm::exec::{step_cached, Effect};
+use ndroid_arm::block::{build_block, Block, BlockCache};
+use ndroid_arm::exec::{step_cached, step_decoded, Effect};
 use ndroid_arm::icache::DecodeCache;
 use ndroid_arm::{Cpu, Memory};
 use ndroid_dvm::{Dvm, DvmError, MethodId, MethodKind, NativeHandler, Taint};
@@ -57,6 +58,59 @@ pub trait Analysis {
     /// virtual branches into/out of host functions — the event stream
     /// the multilevel-hooking FSM consumes.
     fn on_branch(&mut self, _shadow: &mut ShadowState, _from: u32, _to: u32) {}
+
+    /// Executes one cached superblock: steps each pre-decoded
+    /// instruction, charging the budget per *retired* instruction (so
+    /// [`EmuError::Timeout`] fires at the identical instruction count
+    /// as single-stepping) and firing
+    /// [`Analysis::on_insn`]/[`Analysis::on_branch`] exactly as the
+    /// stepper would. The block exits early after the first instruction
+    /// whose runtime [`Effect::branch`] fires (a taken conditional
+    /// branch mid-block, the block terminator, or any surprise PC
+    /// write), and after any executed store that touches the block's
+    /// own code page — the remaining pre-decoded steps can no longer be
+    /// trusted, so control returns to the run loop, whose next cache
+    /// lookup sees the bumped write generation and rebuilds from the
+    /// fresh bytes.
+    ///
+    /// Implementations overriding this (the NDroid fused fast path)
+    /// must preserve these exit rules and the budget contract bit for
+    /// bit.
+    ///
+    /// # Errors
+    ///
+    /// Execution failures and [`EmuError::Timeout`] on budget
+    /// exhaustion, exactly as the per-instruction stepper raises them.
+    fn on_block(
+        &mut self,
+        shadow: &mut ShadowState,
+        cpu: &mut Cpu,
+        mem: &mut Memory,
+        block: &Block,
+        budget: &mut u64,
+    ) -> Result<(), EmuError> {
+        for step in block.steps() {
+            if *budget == 0 {
+                return Err(EmuError::Timeout { budget: 0 });
+            }
+            *budget -= 1;
+            let effect = step_decoded(cpu, mem, step.instr, step.size)?;
+            self.on_insn(shadow, cpu, mem, &effect);
+            let own_page_store = step.store_bytes != 0
+                && effect.executed
+                && effect
+                    .addr
+                    .map_or(false, |a| block.store_hits_code(a, step.store_bytes));
+            if let Some(b) = effect.branch {
+                self.on_branch(shadow, b.from, b.to);
+                return Ok(());
+            }
+            if own_page_store {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
 
     /// JNI entry (the `SourcePolicy` handler): initialize native-side
     /// taints for a Java→native invocation. `args` are the marshalled
@@ -119,6 +173,9 @@ pub struct NativeCtx<'a> {
     /// Decoded-instruction cache shared by every guest run in this
     /// session (invalidated page-wise via memory write generations).
     pub icache: &'a mut DecodeCache,
+    /// Compiled-superblock cache shared the same way (invalidated by
+    /// the same page write generations as the icache).
+    pub blocks: &'a mut BlockCache,
 }
 
 impl NativeCtx<'_> {
@@ -135,6 +192,7 @@ impl NativeCtx<'_> {
             analysis: self.analysis,
             budget: self.budget,
             icache: self.icache,
+            blocks: self.blocks,
         }
     }
 }
@@ -200,6 +258,13 @@ impl HostTable {
             .iter()
             .find(|(_, e)| e.name == name)
             .map(|(a, _)| *a)
+    }
+
+    /// Whether a host function is registered at `addr`. Block discovery
+    /// uses this as its stop predicate: a trap address must reach the
+    /// run loop as a block *entry*, never hide inside a block.
+    pub fn contains(&self, addr: u32) -> bool {
+        self.fns.contains_key(&addr)
     }
 
     /// Number of registered functions.
@@ -273,6 +338,17 @@ fn run_loop(ctx: &mut NativeCtx<'_>, table: &HostTable) -> Result<(), EmuError> 
         if pc == RETURN_SENTINEL {
             return Ok(());
         }
+        // Hot path: a cached superblock at this pc executes as a single
+        // dispatch. Host trap addresses never have blocks (discovery
+        // refuses them), so probing the block cache first is safe and
+        // saves the table hash on every loop iteration.
+        if ctx.blocks.enabled {
+            if let Some(block) = ctx.blocks.lookup(ctx.mem, pc, ctx.cpu.thumb) {
+                ctx.analysis
+                    .on_block(ctx.shadow, ctx.cpu, ctx.mem, block, ctx.budget)?;
+                continue;
+            }
+        }
         if let Some(entry) = table.fns.get(&pc) {
             let r0 = (entry.f)(&mut ctx.reborrow(), table).map_err(|e| match e {
                 EmuError::Host { .. } => e,
@@ -289,6 +365,16 @@ fn run_loop(ctx: &mut NativeCtx<'_>, table: &HostTable) -> Result<(), EmuError> 
             ctx.cpu.regs[15] = lr & !1;
             continue;
         }
+        if ctx.blocks.enabled {
+            if let Some(block) = build_block(ctx.mem, pc, ctx.cpu.thumb, |a| table.contains(a)) {
+                let block = ctx.blocks.insert(ctx.mem, block);
+                ctx.analysis
+                    .on_block(ctx.shadow, ctx.cpu, ctx.mem, block, ctx.budget)?;
+                continue;
+            }
+        }
+        // Stepper fallback: blocks disabled, or nothing decodeable at
+        // this pc (the step below re-raises the identical decode error).
         if *ctx.budget == 0 {
             return Err(EmuError::Timeout { budget: 0 });
         }
@@ -466,6 +552,7 @@ pub fn call_java_method(
             analysis: ctx.analysis,
             budget: ctx.budget,
             icache: ctx.icache,
+            blocks: ctx.blocks,
             table,
         };
         let dvm: &mut Dvm = ctx.dvm;
@@ -537,6 +624,8 @@ pub struct GuestRunner<'a> {
     pub budget: &'a mut u64,
     /// Decoded-instruction cache.
     pub icache: &'a mut DecodeCache,
+    /// Compiled-superblock cache.
+    pub blocks: &'a mut BlockCache,
     /// Host-function table.
     pub table: &'a HostTable,
 }
@@ -559,6 +648,7 @@ impl NativeHandler for GuestRunner<'_> {
             analysis: self.analysis,
             budget: self.budget,
             icache: self.icache,
+            blocks: self.blocks,
         };
         run_native_method(&mut ctx, self.table, method, args, taints).map_err(|e| match e {
             EmuError::Dvm(d) => d,
@@ -584,6 +674,7 @@ mod tests {
         trace: TraceLog,
         budget: u64,
         icache: DecodeCache,
+        blocks: BlockCache,
     }
 
     impl World {
@@ -599,6 +690,7 @@ mod tests {
                 trace: TraceLog::new(),
                 budget: 10_000_000,
                 icache: DecodeCache::new(),
+                blocks: BlockCache::new(),
             }
         }
 
@@ -613,6 +705,7 @@ mod tests {
                 analysis,
                 budget: &mut self.budget,
                 icache: &mut self.icache,
+                blocks: &mut self.blocks,
             }
         }
     }
@@ -798,6 +891,7 @@ mod tests {
             analysis: &mut a,
             budget: &mut w.budget,
             icache: &mut w.icache,
+            blocks: &mut w.blocks,
             table: &table,
         };
         let (v, _) = w.dvm.invoke_with(main, &[], &mut runner).unwrap();

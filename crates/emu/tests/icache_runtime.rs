@@ -3,6 +3,7 @@
 //! loops are served from it, and host-side writes to a code page make
 //! the next run re-decode the new bytes.
 
+use ndroid_arm::block::BlockCache;
 use ndroid_arm::icache::DecodeCache;
 use ndroid_arm::{Assembler, Cond, Cpu, Memory, Reg};
 use ndroid_dvm::{Dvm, Program};
@@ -21,12 +22,18 @@ struct World {
     trace: TraceLog,
     budget: u64,
     icache: DecodeCache,
+    blocks: BlockCache,
 }
 
 impl World {
     fn new() -> World {
         let mut cpu = Cpu::new();
         cpu.regs[13] = layout::NATIVE_STACK_TOP;
+        // Superblock dispatch off: this suite pins the *stepper* path's
+        // decode-cache behavior (the block path has its own suite in
+        // block_runtime.rs).
+        let mut blocks = BlockCache::new();
+        blocks.enabled = false;
         World {
             cpu,
             mem: Memory::new(),
@@ -36,6 +43,7 @@ impl World {
             trace: TraceLog::new(),
             budget: 1_000_000,
             icache: DecodeCache::new(),
+            blocks,
         }
     }
 
@@ -52,6 +60,7 @@ impl World {
             analysis: &mut analysis,
             budget: &mut self.budget,
             icache: &mut self.icache,
+            blocks: &mut self.blocks,
         };
         let (r0, _) = call_guest(&mut ctx, &table, entry, &[], |_, _| {}).expect("guest run");
         r0

@@ -2,6 +2,7 @@
 //! failures, undefined instructions, and budget exhaustion in nested
 //! contexts.
 
+use ndroid_arm::block::BlockCache;
 use ndroid_arm::icache::DecodeCache;
 use ndroid_arm::reg::RegList;
 use ndroid_arm::{Assembler, Cpu, Memory, Reg};
@@ -19,6 +20,7 @@ struct World {
     trace: TraceLog,
     budget: u64,
     icache: DecodeCache,
+    blocks: BlockCache,
 }
 
 impl World {
@@ -34,6 +36,7 @@ impl World {
             trace: TraceLog::new(),
             budget: 100_000,
             icache: DecodeCache::new(),
+            blocks: BlockCache::new(),
         }
     }
 
@@ -53,6 +56,7 @@ impl World {
             analysis: &mut analysis,
             budget: &mut self.budget,
             icache: &mut self.icache,
+            blocks: &mut self.blocks,
         };
         call_guest(&mut ctx, table, entry, &[], |_, _| {})
     }

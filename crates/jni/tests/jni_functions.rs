@@ -2,6 +2,7 @@
 //! into the trap addresses, exercising arrays, fields, objects,
 //! references and exceptions with taint tracking active.
 
+use ndroid_arm::block::BlockCache;
 use ndroid_arm::icache::DecodeCache;
 use ndroid_arm::reg::RegList;
 use ndroid_arm::{Assembler, Cpu, Memory, Reg};
@@ -56,6 +57,7 @@ struct World {
     trace: TraceLog,
     budget: u64,
     icache: DecodeCache,
+    blocks: BlockCache,
     table: HostTable,
 }
 
@@ -95,6 +97,7 @@ impl World {
             trace: TraceLog::new(),
             budget: 1_000_000,
             icache: DecodeCache::new(),
+            blocks: BlockCache::new(),
             table,
         }
     }
@@ -117,6 +120,7 @@ impl World {
             analysis: &mut analysis,
             budget: &mut self.budget,
             icache: &mut self.icache,
+            blocks: &mut self.blocks,
         };
         let (r0, _) = call_guest(&mut ctx, &self.table, code.base, args, |_, _| {})
             .expect("guest run");

@@ -2,6 +2,7 @@
 //! code `BLX`ing into the trap addresses, with a native-tracking
 //! analysis so the `TrustCallPolicy` taint transfers are observable.
 
+use ndroid_arm::block::BlockCache;
 use ndroid_arm::icache::DecodeCache;
 use ndroid_arm::{Assembler, Cpu, Memory, Reg};
 use ndroid_dvm::{Dvm, Program, Taint};
@@ -30,6 +31,7 @@ struct World {
     trace: TraceLog,
     budget: u64,
     icache: DecodeCache,
+    blocks: BlockCache,
     table: HostTable,
 }
 
@@ -48,6 +50,7 @@ impl World {
             trace: TraceLog::new(),
             budget: 1_000_000,
             icache: DecodeCache::new(),
+            blocks: BlockCache::new(),
             table,
         }
     }
@@ -71,6 +74,7 @@ impl World {
             analysis: &mut analysis,
             budget: &mut self.budget,
             icache: &mut self.icache,
+            blocks: &mut self.blocks,
         };
         let (r0, _) = call_guest(&mut ctx, &self.table, code.base, &[], |_, _| {})
             .expect("guest run");
@@ -348,6 +352,7 @@ fn libm_taint_flows_through_math() {
         analysis: &mut analysis,
         budget: &mut w.budget,
         icache: &mut w.icache,
+        blocks: &mut w.blocks,
     };
     ctx.cpu.regs[0] = x as u32;
     ctx.cpu.regs[1] = (x >> 32) as u32;

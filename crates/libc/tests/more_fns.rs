@@ -2,6 +2,7 @@
 //! truncation, endptr semantics, allocator growth, and the va_list
 //! printf variants — all via genuine guest code.
 
+use ndroid_arm::block::BlockCache;
 use ndroid_arm::icache::DecodeCache;
 use ndroid_arm::reg::RegList;
 use ndroid_arm::{Assembler, Cpu, Memory, Reg};
@@ -27,6 +28,7 @@ struct World {
     trace: TraceLog,
     budget: u64,
     icache: DecodeCache,
+    blocks: BlockCache,
     table: HostTable,
 }
 
@@ -45,6 +47,7 @@ impl World {
             trace: TraceLog::new(),
             budget: 1_000_000,
             icache: DecodeCache::new(),
+            blocks: BlockCache::new(),
             table,
         }
     }
@@ -67,6 +70,7 @@ impl World {
             analysis: &mut analysis,
             budget: &mut self.budget,
             icache: &mut self.icache,
+            blocks: &mut self.blocks,
         };
         call_guest(&mut ctx, &self.table, code.base, &[], |_, _| {})
             .unwrap()

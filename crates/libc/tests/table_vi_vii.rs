@@ -5,6 +5,7 @@
 //! `memcpy`/`strcpy`/`sprintf` (§V-D, Listing 3) and leak reporting on
 //! `write*`/`send*` (Fig. 7/8).
 
+use ndroid_arm::block::BlockCache;
 use ndroid_arm::icache::DecodeCache;
 use ndroid_arm::{Cpu, Memory};
 use ndroid_dvm::{Dvm, Program, Taint};
@@ -33,6 +34,7 @@ struct W {
     trace: TraceLog,
     budget: u64,
     icache: DecodeCache,
+    blocks: BlockCache,
 }
 
 impl W {
@@ -48,6 +50,7 @@ impl W {
             trace: TraceLog::new(),
             budget: 1_000_000,
             icache: DecodeCache::new(),
+            blocks: BlockCache::new(),
         }
     }
 
@@ -70,6 +73,7 @@ impl W {
             analysis: &mut analysis,
             budget: &mut self.budget,
             icache: &mut self.icache,
+            blocks: &mut self.blocks,
         };
         f(&mut ctx).expect("host fn")
     }

@@ -77,12 +77,15 @@ stage "adversarial corpus: detection matrix, scoring harness, leak-path golden"
 TESTKIT_CASES="${TESTKIT_CASES:-256}" cargo test -q --offline -p ndroid-apps \
   --test adversarial_regression --test score_harness
 cargo run -q --release --offline -p ndroid-bench --bin exp_adversarial
+# The same gate with superblock dispatch disabled: the per-instruction
+# stepper must reproduce the identical score matrix and transcript.
+cargo run -q --release --offline -p ndroid-bench --bin exp_adversarial -- --no-blocks
 
 stage "bench smoke pass (TESTKIT_BENCH_SMOKE=1)"
 BENCH_DIR="$(mktemp -d)"
 TESTKIT_BENCH_SMOKE=1 TESTKIT_BENCH_DIR="$BENCH_DIR" \
   cargo bench -q --offline -p ndroid-bench
-for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json BENCH_oracle.json BENCH_batch.json BENCH_provenance.json BENCH_adversarial.json; do
+for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json BENCH_oracle.json BENCH_batch.json BENCH_provenance.json BENCH_adversarial.json BENCH_blocks.json; do
   if [ ! -s "$BENCH_DIR/$f" ]; then
     echo "error: bench smoke did not produce $f" >&2
     exit 1
