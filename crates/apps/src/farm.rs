@@ -190,6 +190,62 @@ pub fn monkey_jobs(
         .collect()
 }
 
+/// Monkey-driver sessions over the gated-leak app, fanned out from a
+/// **copy-on-write snapshot** instead of re-booting per session: each
+/// worker thread boots and warms the app once per distinct `config`,
+/// captures an [`ndroid_core::Snapshot`], and every session on that
+/// worker then forks from the image (O(page-table), pages copied
+/// lazily on first write). Behaviorally identical to [`monkey_jobs`]
+/// — session `i` drives the same `steps` events from `base_seed + i`
+/// and produces an equal [`ndroid_core::RunReport`]; the
+/// `exp_snapshot` gate and the determinism tests pin that equality.
+pub fn monkey_fork_jobs(
+    config: &SystemConfig,
+    sessions: usize,
+    steps: usize,
+    base_seed: u64,
+) -> Vec<AnalysisJob> {
+    use ndroid_core::Snapshot;
+    use std::cell::RefCell;
+
+    // One warm image per worker thread per configuration. Snapshots
+    // hold `Rc`s and so cannot cross threads; jobs only carry the
+    // (Send) config and rebuild the image on whichever worker runs
+    // them first.
+    thread_local! {
+        static WARM: RefCell<Option<(SystemConfig, Snapshot)>> =
+            const { RefCell::new(None) };
+    }
+
+    (0..sessions)
+        .map(|i| {
+            let seed = base_seed + i as u64;
+            let config = config.clone();
+            AnalysisJob::new(format!("monkey/session_{i:03}"), move || {
+                let mut sys = WARM.with(|warm| {
+                    let mut warm = warm.borrow_mut();
+                    match warm.as_ref() {
+                        Some((c, snap)) if *c == config => snap.fork(),
+                        _ => {
+                            let booted =
+                                gated_leak_app().launch_with(config.clone());
+                            let snap = booted.snapshot();
+                            let sys = snap.fork();
+                            *warm = Some((config.clone(), snap));
+                            sys
+                        }
+                    }
+                });
+                let report = drive(&mut sys, "Lapp/Sync;", &GATED_ENTRIES, steps, seed);
+                if report.errors > 0 {
+                    return Err(format!("{} invocations failed", report.errors));
+                }
+                Ok(report.report)
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +299,18 @@ mod tests {
         assert_eq!(score.aggregate.recall(), 1.0);
         assert_eq!(score.aggregate.precision(), 1.0);
         assert_eq!(score.aggregate.total(), crate::adversarial::corpus().len());
+    }
+
+    #[test]
+    fn forked_monkey_sessions_equal_fresh_boots() {
+        // The fan-out determinism gate in miniature: the same sessions
+        // driven from per-worker CoW forks and from fresh boots must
+        // produce byte-identical batch reports.
+        let cfg = SystemConfig::ndroid().quiet(true);
+        let fresh = run_batch(monkey_jobs(&cfg, 4, 30, 11), BatchConfig::new(2));
+        let forked = run_batch(monkey_fork_jobs(&cfg, 4, 30, 11), BatchConfig::new(2));
+        assert_eq!(forked, fresh);
+        assert_eq!(forked.render(), fresh.render());
     }
 
     #[test]

@@ -466,6 +466,7 @@ impl std::hash::Hasher for IntHasher {
 
 type IntMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<IntHasher>>;
 
+#[derive(Clone)]
 struct BlockPage {
     /// The [`Memory::page_version`] the page's blocks were built under.
     mem_version: u64,
@@ -510,11 +511,22 @@ impl std::fmt::Debug for BlockPage {
 /// Page-organized cache of compiled [`Block`]s, invalidated by the same
 /// [`Memory::page_version`] write generations as the decoded-instruction
 /// cache. See the module docs for the protocol.
-#[derive(Debug, Default)]
+///
+/// Like [`DecodeCache`](crate::icache::DecodeCache), the cache is bound
+/// to one [`Memory::epoch`] slot lineage: a lookup against a memory
+/// from another lineage drops everything (pinned slots could alias
+/// different guest pages there), while a snapshot fork that carries
+/// memory and cache together re-binds via
+/// [`rebind_epoch`](BlockCache::rebind_epoch) and keeps its compiled
+/// blocks warm.
+#[derive(Debug, Default, Clone)]
 pub struct BlockCache {
     pages: Vec<BlockPage>,
     index: IntMap<u32, u32>,
     tlb: Option<(u32, u32)>, // (guest page number, pages[] slot)
+    /// The [`Memory::epoch`] the pinned slots/generations are valid
+    /// against (0 = not yet bound).
+    epoch: u64,
     /// When `false`, the run loop never consults or fills the cache and
     /// degrades to per-instruction stepping (the `blocks` A/B knob).
     pub enabled: bool,
@@ -535,6 +547,7 @@ impl BlockCache {
             pages: Vec::new(),
             index: IntMap::default(),
             tlb: None,
+            epoch: 0,
             enabled: true,
             hits: 0,
             misses: 0,
@@ -555,6 +568,26 @@ impl BlockCache {
         self.tlb = None;
     }
 
+    /// Declares the cached blocks valid against the slot lineage
+    /// `epoch` without dropping them — for snapshot forks only, which
+    /// clone memory and cache as a unit so every pinned slot still
+    /// means the same guest page (see
+    /// [`DecodeCache::rebind_epoch`](crate::icache::DecodeCache::rebind_epoch)).
+    pub fn rebind_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Lineage guard shared with the icache: everything is dropped when
+    /// handed a `Memory` whose epoch differs from the one the entries
+    /// were pinned under.
+    #[inline]
+    fn check_epoch(&mut self, mem: &Memory) {
+        if self.epoch != mem.epoch() {
+            self.clear();
+            self.epoch = mem.epoch();
+        }
+    }
+
     /// The cache-page slot covering `pageno`, via TLB then index.
     #[inline]
     fn slot_of(&mut self, pageno: u32) -> Option<u32> {
@@ -573,6 +606,7 @@ impl BlockCache {
     /// their blocks (and are counted) here.
     #[inline]
     pub fn lookup(&mut self, mem: &Memory, pc: u32, thumb: bool) -> Option<&Block> {
+        self.check_epoch(mem);
         let pageno = pc >> PAGE_SHIFT;
         let Some(slot) = self.slot_of(pageno) else {
             self.misses += 1;
@@ -603,6 +637,7 @@ impl BlockCache {
     /// generation and returns a reference to the cached copy (so the
     /// caller can dispatch it without a second probe).
     pub fn insert(&mut self, mem: &Memory, block: Block) -> &Block {
+        self.check_epoch(mem);
         let pageno = block.pageno;
         let key = block_key(block.entry, block.thumb);
         let slot = match self.slot_of(pageno) {
@@ -734,5 +769,51 @@ mod tests {
         let b = build_block(&mem, 0x8000, false, |_| false).unwrap();
         c.insert(&mem, b);
         assert!(c.lookup(&mem, 0x8000, true).is_none());
+    }
+
+    #[test]
+    fn different_lineage_memory_drops_cached_blocks() {
+        // Same cross-lineage aliasing hazard as the icache: an
+        // unrelated memory can reproduce the pinned slot+version shape
+        // while holding different bytes, so lineage is part of validity.
+        let mem = code(&[ADD_R0_1, BX_LR], 0x8000);
+        let mut c = BlockCache::new();
+        let b = build_block(&mem, 0x8000, false, |_| false).unwrap();
+        c.insert(&mem, b);
+        assert!(c.lookup(&mem, 0x8000, false).is_some());
+
+        let other = code(&[MOV_R0_7, MOV_R0_7], 0x8000);
+        assert!(
+            c.lookup(&other, 0x8000, false).is_none(),
+            "blocks built from mem's bytes must not validate against another lineage"
+        );
+        assert_eq!(c.page_count(), 0);
+    }
+
+    #[test]
+    fn fork_rebind_keeps_blocks_warm_and_smc_aware() {
+        let mem = code(&[ADD_R0_1, BX_LR], 0x8000);
+        let mut c = BlockCache::new();
+        let b = build_block(&mem, 0x8000, false, |_| false).unwrap();
+        c.insert(&mem, b);
+
+        let mut child = mem.fork();
+        let mut forked = c.clone();
+        // Without a rebind the fork counts as a foreign lineage...
+        assert!(forked.lookup(&child, 0x8000, false).is_none());
+        // ...so re-warm a fresh clone the way a snapshot fork does.
+        let mut forked = c.clone();
+        forked.rebind_epoch(child.epoch());
+        assert!(
+            forked.lookup(&child, 0x8000, false).is_some(),
+            "snapshot fork carries warm compiled blocks"
+        );
+        // SMC after fork: the child patching its own code must drop the
+        // carried block.
+        child.write_u32(0x8000, MOV_R0_7);
+        assert!(forked.lookup(&child, 0x8000, false).is_none());
+        assert_eq!(forked.invalidations, 1);
+        // The parent-bound cache still serves the parent.
+        assert!(c.lookup(&mem, 0x8000, false).is_some());
     }
 }

@@ -45,6 +45,7 @@ struct CachedInsn {
     thumb: bool,
 }
 
+#[derive(Clone)]
 struct CachePage {
     /// The [`Memory::page_version`] this page's entries were decoded
     /// under; a mismatch on lookup invalidates every slot.
@@ -96,11 +97,24 @@ impl std::fmt::Debug for CachePage {
 /// Page-organized cache of decoded instructions with generation-based
 /// self-modifying-code invalidation. See the module docs for the
 /// protocol.
-#[derive(Debug, Default)]
+///
+/// Every pinned slot and generation is only meaningful against the one
+/// slot lineage ([`Memory::epoch`]) the cache was warmed under, so the
+/// cache records that epoch and drops everything when handed a
+/// `Memory` from a different lineage — without this, a fork that
+/// diverged from the warming parent could map a *different* guest page
+/// into a pinned slot and the version compare alone would validate
+/// stale decodes. A snapshot fork that clones cache and memory together
+/// calls [`rebind_epoch`](DecodeCache::rebind_epoch) instead, keeping
+/// the carried entries warm (the fork preserves slots verbatim).
+#[derive(Debug, Default, Clone)]
 pub struct DecodeCache {
     pages: Vec<CachePage>,
     index: HashMap<u32, u32>,
     tlb: Option<(u32, u32)>, // (guest page number, pages[] slot)
+    /// The [`Memory::epoch`] this cache's slots/generations are valid
+    /// against (0 = not yet bound to any memory).
+    epoch: u64,
     /// When `false`, [`crate::exec::step_cached`] bypasses the cache
     /// entirely (the A/B knob the `BENCH_taint` suite measures).
     pub enabled: bool,
@@ -119,6 +133,7 @@ impl DecodeCache {
             pages: Vec::new(),
             index: HashMap::new(),
             tlb: None,
+            epoch: 0,
             enabled: true,
             hits: 0,
             misses: 0,
@@ -136,6 +151,28 @@ impl DecodeCache {
         self.pages.clear();
         self.index.clear();
         self.tlb = None;
+    }
+
+    /// Declares the cache's contents valid against the slot lineage
+    /// `epoch` **without** dropping them. Only a snapshot fork may call
+    /// this: it clones memory and cache as one unit, so the fork's
+    /// slot numbering is identical to what the entries were pinned
+    /// under and the carried decodes stay warm (and the hit/miss
+    /// counters stay replay-identical to a fresh run).
+    pub fn rebind_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Lineage guard: a `Memory` from a different slot lineage than the
+    /// cache was warmed under invalidates everything (same-numbered
+    /// slots may back different guest pages there, which the per-page
+    /// version compare cannot detect).
+    #[inline]
+    fn check_epoch(&mut self, mem: &Memory) {
+        if self.epoch != mem.epoch() {
+            self.clear();
+            self.epoch = mem.epoch();
+        }
     }
 
     /// The cache-page slot covering `pageno`, via TLB then index.
@@ -156,6 +193,7 @@ impl DecodeCache {
     /// generation. Stale pages are invalidated (and counted) here.
     #[inline]
     pub fn lookup(&mut self, mem: &Memory, pc: u32, thumb: bool) -> Option<(Instr, u8)> {
+        self.check_epoch(mem);
         let pageno = pc >> PAGE_SHIFT;
         let Some(slot) = self.slot_of(pageno) else {
             self.misses += 1;
@@ -187,6 +225,7 @@ impl DecodeCache {
     /// the module docs).
     #[inline]
     pub fn insert(&mut self, mem: &Memory, pc: u32, thumb: bool, instr: Instr, size: u8) {
+        self.check_epoch(mem);
         let off = (pc & PAGE_MASK) as usize;
         if off + size as usize > PAGE_SIZE {
             return;
@@ -258,6 +297,62 @@ mod tests {
         let mut c = DecodeCache::new();
         c.insert(&mem, 0x8000, false, bx_lr(), 4);
         assert!(c.lookup(&mem, 0x8000, true).is_none(), "mode is part of the key");
+    }
+
+    #[test]
+    fn different_lineage_memory_never_served_stale_decodes() {
+        // The cross-lineage aliasing bug the epoch guard fixes: two
+        // unrelated memories can map the same guest page into the same
+        // pages[] slot with the same write generation, so the pinned
+        // slot+version compare alone would validate a decode of the
+        // OTHER memory's bytes.
+        let mut mem1 = Memory::new();
+        mem1.write_u32(0x8000, 0xE12F_FF1E); // bx lr
+        let mut c = DecodeCache::new();
+        c.insert(&mem1, 0x8000, false, bx_lr(), 4);
+        assert!(c.lookup(&mem1, 0x8000, false).is_some());
+
+        let mut mem2 = Memory::new();
+        mem2.write_u32(0x8000, 0xE080_0001); // different bytes, same slot+version shape
+        assert!(
+            c.lookup(&mem2, 0x8000, false).is_none(),
+            "decode of mem1's bytes must not validate against mem2"
+        );
+        assert_eq!(c.page_count(), 0, "lineage switch drops everything");
+    }
+
+    #[test]
+    fn fork_without_rebind_drops_cache() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x8000, 0xE12F_FF1E);
+        let mut c = DecodeCache::new();
+        c.insert(&mem, 0x8000, false, bx_lr(), 4);
+        assert!(c.lookup(&mem, 0x8000, false).is_some());
+        let child = mem.fork();
+        assert!(c.lookup(&child, 0x8000, false).is_none(), "fork is a new lineage");
+    }
+
+    #[test]
+    fn fork_with_rebind_keeps_entries_warm_and_smc_aware() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x8000, 0xE12F_FF1E);
+        let mut c = DecodeCache::new();
+        c.insert(&mem, 0x8000, false, bx_lr(), 4);
+        let mut child = mem.fork();
+        let mut forked = c.clone();
+        forked.rebind_epoch(child.epoch());
+        assert!(
+            forked.lookup(&child, 0x8000, false).is_some(),
+            "snapshot fork carries the warm decode"
+        );
+        // Self-modifying code in the child still invalidates the
+        // carried page (generations were carried verbatim and the
+        // child's write bumps its own copy).
+        child.write_u8(0x8001, 0x42);
+        assert!(forked.lookup(&child, 0x8000, false).is_none());
+        assert_eq!(forked.invalidations, 1);
+        // The parent-side cache still validates against the parent.
+        assert!(c.lookup(&mem, 0x8000, false).is_some());
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// log2 of the guest page size. Shared by the decoded-instruction
 /// cache and the emulator's shadow taint memory so all three layers
@@ -12,6 +14,14 @@ pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// Mask selecting the offset-within-page bits of an address.
 pub const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
 
+/// Process-global epoch counter: every distinct slot lineage (a fresh
+/// `Memory` or a [`Memory::fork`]) draws a unique, nonzero epoch.
+static EPOCH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn next_epoch() -> u64 {
+    EPOCH_COUNTER.fetch_add(1, Ordering::Relaxed) + 1
+}
+
 /// A sparse 32-bit guest address space backed by 4 KiB pages, with a
 /// one-entry TLB caching the last page touched (guest access patterns
 /// are strongly local, so this removes most hash lookups from the
@@ -21,9 +31,14 @@ pub const PAGE_MASK: u32 = (PAGE_SIZE as u32) - 1;
 /// Reads of unmapped memory return zero (pages are allocated lazily on
 /// write), mirroring a zero-filled anonymous mapping. Little-endian, like
 /// the Android/ARM targets NDroid analyzed.
-#[derive(Debug, Default)]
+///
+/// Pages are `Rc`-shared **copy-on-write**: cloning (or
+/// [`fork`](Memory::fork)ing) a `Memory` copies only the page table,
+/// and a shared page is duplicated lazily by the first write on either
+/// side. A fork is therefore O(mapped pages), not O(address space).
+#[derive(Debug)]
 pub struct Memory {
-    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    pages: Vec<Rc<[u8; PAGE_SIZE]>>,
     index: HashMap<u32, u32>,
     tlb: Cell<Option<(u32, u32)>>, // (page number, pages[] slot)
     /// Per-page write generation, parallel to `pages`. Bumped on every
@@ -33,6 +48,19 @@ pub struct Memory {
     /// a freshly materialized page starts at 1, so any transition is
     /// observable.
     versions: Vec<u64>,
+    /// Slot-lineage epoch. Two `Memory` values agree on what a `pages[]`
+    /// slot number means only if they carry the same epoch: `clone`
+    /// preserves it (a clone is a faithful copy of the same lineage,
+    /// slot-for-slot), while [`fork`](Memory::fork) draws a fresh one so
+    /// derived caches pinned to the parent can never be replayed against
+    /// a diverged child by mistake (see [`Memory::epoch`]).
+    epoch: u64,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::new()
+    }
 }
 
 impl Clone for Memory {
@@ -42,6 +70,7 @@ impl Clone for Memory {
             index: self.index.clone(),
             tlb: Cell::new(None),
             versions: self.versions.clone(),
+            epoch: self.epoch,
         }
     }
 }
@@ -49,12 +78,52 @@ impl Clone for Memory {
 impl Memory {
     /// Creates an empty address space.
     pub fn new() -> Memory {
-        Memory::default()
+        Memory {
+            pages: Vec::new(),
+            index: HashMap::new(),
+            tlb: Cell::new(None),
+            versions: Vec::new(),
+            epoch: next_epoch(),
+        }
+    }
+
+    /// Copy-on-write fork: shares every mapped page with `self` (an
+    /// `Rc` bump per page) and draws a **fresh epoch**, marking the
+    /// copy as a new slot lineage. Writes on either side duplicate
+    /// only the touched page. Slot numbers and write generations are
+    /// carried over verbatim, so caches warmed against the parent can
+    /// be explicitly re-bound to the fork's epoch and stay warm.
+    pub fn fork(&self) -> Memory {
+        let mut m = self.clone();
+        m.epoch = next_epoch();
+        m
+    }
+
+    /// The slot-lineage epoch (nonzero, process-unique). Derived caches
+    /// that pin `pages[]` slots (the decode cache, the block cache, the
+    /// tracer's handler cache) record the epoch of the `Memory` they
+    /// were warmed against and must discard everything when handed a
+    /// `Memory` with a different epoch: after a fork diverges, the same
+    /// slot number can back a *different guest page* in each lineage,
+    /// so a slot-pinned version compare alone would silently validate
+    /// stale entries.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of pages currently materialized.
     pub fn page_count(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Number of materialized pages exclusively owned by this `Memory`
+    /// (copy-on-write has privatized them). Immediately after a
+    /// [`fork`](Memory::fork) this is 0; it grows by one per distinct
+    /// page written since. The complement of shared pages — the
+    /// fan-out benches report it as "resident pages per fork".
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| Rc::strong_count(p) == 1).count()
     }
 
     /// Whether the page containing `addr` has been materialized.
@@ -83,11 +152,21 @@ impl Memory {
             return slot;
         }
         let slot = self.pages.len() as u32;
-        self.pages.push(Box::new([0u8; PAGE_SIZE]));
+        self.pages.push(Rc::new([0u8; PAGE_SIZE]));
         self.versions.push(1);
         self.index.insert(pageno, slot);
         self.tlb.set(Some((pageno, slot)));
         slot
+    }
+
+    /// The writable backing array for `pageno`, materializing and
+    /// generation-bumping it, and privatizing it first if it is still
+    /// CoW-shared with a fork (`Rc::make_mut` — a no-op two-refcount
+    /// check when already exclusive).
+    #[inline]
+    fn page_for_write(&mut self, pageno: u32) -> &mut [u8; PAGE_SIZE] {
+        let slot = self.slot_or_alloc(pageno);
+        Rc::make_mut(&mut self.pages[slot as usize])
     }
 
     /// The write generation of the page containing `addr`: 0 for an
@@ -107,7 +186,8 @@ impl Memory {
     /// appended), so derived caches — the decoded-instruction cache and
     /// the taint tracer's handler-classification cache — may pin a slot
     /// once and then poll [`Memory::version_by_slot`] without touching
-    /// the TLB or the page index again.
+    /// the TLB or the page index again. A pinned slot is only
+    /// meaningful within one slot lineage — see [`Memory::epoch`].
     #[inline]
     pub fn slot_of_page(&self, pageno: u32) -> Option<u32> {
         self.slot_of(pageno)
@@ -132,8 +212,7 @@ impl Memory {
     /// Writes one byte, materializing the page if needed.
     #[inline]
     pub fn write_u8(&mut self, addr: u32, value: u8) {
-        let slot = self.slot_or_alloc(addr >> PAGE_SHIFT);
-        self.pages[slot as usize][(addr & PAGE_MASK) as usize] = value;
+        self.page_for_write(addr >> PAGE_SHIFT)[(addr & PAGE_MASK) as usize] = value;
     }
 
     /// Reads a little-endian 16-bit halfword (no alignment requirement).
@@ -142,7 +221,9 @@ impl Memory {
         u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
     }
 
-    /// Writes a little-endian 16-bit halfword.
+    /// Writes a little-endian 16-bit halfword. A halfword straddling a
+    /// page boundary bumps the write generation of *both* pages (each
+    /// byte goes through the per-page write path).
     #[inline]
     pub fn write_u16(&mut self, addr: u32, value: u16) {
         let b = value.to_le_bytes();
@@ -170,14 +251,16 @@ impl Memory {
         ])
     }
 
-    /// Writes a little-endian 32-bit word.
+    /// Writes a little-endian 32-bit word. A word straddling a page
+    /// boundary decays to per-byte writes, so the write generation of
+    /// *both* touched pages is bumped — derived caches on either side
+    /// of the boundary must observe the patch.
     #[inline]
     pub fn write_u32(&mut self, addr: u32, value: u32) {
         let off = (addr & PAGE_MASK) as usize;
         let b = value.to_le_bytes();
         if off + 4 <= PAGE_SIZE {
-            let slot = self.slot_or_alloc(addr >> PAGE_SHIFT);
-            self.pages[slot as usize][off..off + 4].copy_from_slice(&b);
+            self.page_for_write(addr >> PAGE_SHIFT)[off..off + 4].copy_from_slice(&b);
             return;
         }
         for (i, byte) in b.into_iter().enumerate() {
@@ -197,15 +280,16 @@ impl Memory {
     }
 
     /// Copies `bytes` into guest memory starting at `addr`,
-    /// page-sliced (one slot lookup per page, not per byte).
+    /// page-sliced (one slot lookup per page, not per byte); every
+    /// page the span touches gets its write generation bumped.
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
         let mut i = 0usize;
         while i < bytes.len() {
             let a = addr.wrapping_add(i as u32);
             let off = (a & PAGE_MASK) as usize;
             let n = (PAGE_SIZE - off).min(bytes.len() - i);
-            let slot = self.slot_or_alloc(a >> PAGE_SHIFT) as usize;
-            self.pages[slot][off..off + n].copy_from_slice(&bytes[i..i + n]);
+            let page = self.page_for_write(a >> PAGE_SHIFT);
+            page[off..off + n].copy_from_slice(&bytes[i..i + n]);
             i += n;
         }
     }
@@ -227,22 +311,38 @@ impl Memory {
         out
     }
 
-    /// Reads a NUL-terminated C string starting at `addr` (at most
-    /// `max_len` bytes, defaulting the scan to 64 KiB to bound runaway
-    /// reads of corrupt guests).
+    /// Reads a NUL-terminated C string starting at `addr` (scanning at
+    /// most 64 KiB to bound runaway reads of corrupt guests).
     pub fn read_cstr(&self, addr: u32) -> Vec<u8> {
         self.read_cstr_bounded(addr, 65536)
     }
 
-    /// Reads a NUL-terminated C string of at most `max_len` bytes.
+    /// Reads a NUL-terminated C string of at most `max_len` bytes,
+    /// page-sliced. The scan stops **explicitly** at the first unmapped
+    /// page: an unmapped byte reads as zero, which is a terminator, so
+    /// a string running into unmapped memory ends at the last mapped
+    /// byte (bounded stop — never a panic, never garbage bytes).
     pub fn read_cstr_bounded(&self, addr: u32, max_len: usize) -> Vec<u8> {
         let mut out = Vec::new();
-        for i in 0..max_len {
-            let b = self.read_u8(addr.wrapping_add(i as u32));
-            if b == 0 {
+        let mut i = 0usize;
+        while i < max_len {
+            let a = addr.wrapping_add(i as u32);
+            let off = (a & PAGE_MASK) as usize;
+            let n = (PAGE_SIZE - off).min(max_len - i);
+            let Some(slot) = self.slot_of(a >> PAGE_SHIFT) else {
+                // Unmapped page boundary: the next byte is a zero fill,
+                // i.e. a NUL terminator. Stop at the last mapped byte.
                 break;
+            };
+            let chunk = &self.pages[slot as usize][off..off + n];
+            match chunk.iter().position(|&b| b == 0) {
+                Some(p) => {
+                    out.extend_from_slice(&chunk[..p]);
+                    return out;
+                }
+                None => out.extend_from_slice(chunk),
             }
-            out.push(b);
+            i += n;
         }
         out
     }
@@ -300,6 +400,31 @@ mod tests {
     }
 
     #[test]
+    fn straddling_writes_bump_both_page_generations() {
+        // Regression for the cross-page invalidation contract: a write
+        // that straddles a 4 KiB boundary must bump the generation of
+        // BOTH touched pages, or a derived cache holding decodes of the
+        // second page would survive the patch.
+        let mut m = Memory::new();
+        m.write_u8(0x0FFF, 0); // materialize page 0
+        m.write_u8(0x1000, 0); // materialize page 1
+        let (a0, a1) = (m.page_version(0x0FFF), m.page_version(0x1000));
+        m.write_u32(0x0FFE, 0xDDCC_BBAA);
+        assert!(m.page_version(0x0FFF) > a0, "u32 straddle bumps first page");
+        assert!(m.page_version(0x1000) > a1, "u32 straddle bumps second page");
+
+        let (b0, b1) = (m.page_version(0x1FFF), m.page_version(0x2000));
+        m.write_u16(0x1FFF, 0xBEEF);
+        assert!(m.page_version(0x1FFF) > b0, "u16 straddle bumps first page");
+        assert!(m.page_version(0x2000) > b1, "u16 straddle bumps second page");
+
+        let (c0, c1) = (m.page_version(0x2FFF), m.page_version(0x3000));
+        m.write_bytes(0x2FF0, &[7u8; 64]);
+        assert!(m.page_version(0x2FFF) > c0, "byte span bumps first page");
+        assert!(m.page_version(0x3000) > c1, "byte span bumps second page");
+    }
+
+    #[test]
     fn cstr_roundtrip() {
         let mut m = Memory::new();
         m.write_cstr(0x500, b"hello jni");
@@ -312,6 +437,34 @@ mod tests {
         let mut m = Memory::new();
         m.write_bytes(0x600, &[0x41; 100]);
         assert_eq!(m.read_cstr_bounded(0x600, 10).len(), 10);
+    }
+
+    #[test]
+    fn cstr_stops_at_unmapped_page_boundary() {
+        // An unterminated string running to the very last mapped byte:
+        // the scan must stop at the unmapped-page boundary (bounded
+        // stop), exactly as if a NUL sat in the zero fill beyond it.
+        let mut m = Memory::new();
+        let base = 0x7000 - 16; // last 16 bytes of an otherwise empty page
+        m.write_bytes(base, &[0x42; 16]); // page 0x7000.. stays unmapped
+        assert!(!m.is_mapped(0x7000));
+        assert_eq!(m.read_cstr(base), vec![0x42; 16]);
+        assert_eq!(m.read_cstr_bounded(base, 1024), vec![0x42; 16]);
+        // Starting read in unmapped memory yields an empty string.
+        assert_eq!(m.read_cstr(0x7000), b"");
+        // Once the next page is mapped with more non-NUL bytes, the
+        // same scan continues across the boundary.
+        m.write_bytes(0x7000, &[0x43; 8]);
+        let mut want = vec![0x42; 16];
+        want.extend_from_slice(&[0x43; 8]);
+        assert_eq!(m.read_cstr(base), want);
+    }
+
+    #[test]
+    fn cstr_honors_max_len_across_pages() {
+        let mut m = Memory::new();
+        m.write_bytes(0x8000 - 8, &[0x41; 64]);
+        assert_eq!(m.read_cstr_bounded(0x8000 - 8, 12).len(), 12);
     }
 
     #[test]
@@ -348,5 +501,72 @@ mod tests {
         let data: Vec<u8> = (0..=255).collect();
         m.write_bytes(0x2000 - 100, &data);
         assert_eq!(m.read_bytes(0x2000 - 100, 256), data);
+    }
+
+    #[test]
+    fn fork_shares_pages_until_written() {
+        let mut m = Memory::new();
+        m.write_bytes(0x1000, &[0xAA; 3 * PAGE_SIZE]);
+        assert_eq!(m.resident_pages(), 3, "unforked memory owns its pages");
+        let mut child = m.fork();
+        assert_ne!(child.epoch(), m.epoch(), "fork draws a fresh epoch");
+        assert_eq!(child.page_count(), 3);
+        assert_eq!(child.resident_pages(), 0, "all pages CoW-shared at fork");
+        assert_eq!(m.resident_pages(), 0);
+
+        // First write privatizes exactly the touched page, on the
+        // writing side only; the other side still sees the old bytes.
+        child.write_u8(0x1004, 0xBB);
+        assert_eq!(child.resident_pages(), 1);
+        assert_eq!(m.resident_pages(), 1, "parent's copy of that page is now exclusive too");
+        assert_eq!(child.read_u8(0x1004), 0xBB);
+        assert_eq!(m.read_u8(0x1004), 0xAA, "parent unaffected by child write");
+
+        // And symmetrically: parent writes don't reach the child.
+        m.write_u8(0x2008, 0xCC);
+        assert_eq!(child.read_u8(0x2008), 0xAA);
+    }
+
+    #[test]
+    fn fork_carries_versions_and_diverges_independently() {
+        let mut m = Memory::new();
+        m.write_u8(0x3000, 1);
+        m.write_u8(0x3001, 2);
+        let v = m.page_version(0x3000);
+        let child = m.fork();
+        assert_eq!(child.page_version(0x3000), v, "generations carried verbatim");
+
+        let mut a = m.fork();
+        let mut b = m.fork();
+        a.write_u8(0x3002, 3);
+        b.write_u8(0x3002, 4);
+        assert!(a.page_version(0x3000) > v);
+        assert!(b.page_version(0x3000) > v);
+        assert_eq!(a.read_u8(0x3002), 3);
+        assert_eq!(b.read_u8(0x3002), 4);
+        assert_eq!(m.read_u8(0x3002), 0, "siblings never alias");
+    }
+
+    #[test]
+    fn clone_preserves_epoch_fork_does_not() {
+        let m = Memory::new();
+        assert_ne!(m.epoch(), 0, "epochs are nonzero");
+        let c = m.clone();
+        assert_eq!(c.epoch(), m.epoch(), "a clone stays in the lineage");
+        let f = m.fork();
+        assert_ne!(f.epoch(), m.epoch());
+        assert_ne!(Memory::new().epoch(), m.epoch(), "fresh memories get fresh epochs");
+    }
+
+    #[test]
+    fn new_page_after_fork_is_private() {
+        let mut m = Memory::new();
+        m.write_u8(0x1000, 1);
+        let mut child = m.fork();
+        child.write_u8(0x9000, 9); // page the parent never mapped
+        assert_eq!(child.page_count(), 2);
+        assert_eq!(m.page_count(), 1);
+        assert_eq!(m.read_u8(0x9000), 0);
+        assert_eq!(child.resident_pages(), 1);
     }
 }

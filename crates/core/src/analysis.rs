@@ -18,6 +18,7 @@ use ndroid_jni::calls::{parse_call_name, ArgForm};
 use ndroid_jni::{dvm_addr, jni_names};
 use ndroid_provenance::{Handle, ProvEvent};
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Aggregate statistics of one analysis run.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -84,6 +85,7 @@ pub(crate) fn protected_region(addr: u32) -> Option<&'static str> {
 
 /// The NDroid analysis: instruction tracer + DVM hook engine +
 /// multilevel hooking, over the shared shadow taint state.
+#[derive(Clone)]
 pub struct NDroidAnalysis {
     policies: SourcePolicyMap,
     cache: HandlerCache,
@@ -100,8 +102,11 @@ pub struct NDroidAnalysis {
     pub policy_override: SourcePolicyOverride,
     /// Violations recorded by the taint protector.
     pub violations: Vec<ProtectionViolation>,
-    chain_specs: HashMap<u32, Vec<u32>>,
-    inner_addrs: Vec<u32>,
+    // Fixed at construction (pure functions of the Table-III name
+    // tables), `Rc`-shared so cloning an analysis for a snapshot fork
+    // costs a refcount bump instead of rebuilding ~250 chain vectors.
+    chain_specs: Rc<HashMap<u32, Vec<u32>>>,
+    inner_addrs: Rc<Vec<u32>>,
     active: Vec<MultilevelHook>,
     /// Run statistics.
     pub stats: AnalysisStats,
@@ -112,7 +117,7 @@ pub struct NDroidAnalysis {
 /// µDep-style summarization: provenance records one event per run
 /// (flushed at branch events and JNI returns), never one event per
 /// instruction. Only populated at `Level::Full`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct BlockAcc {
     start_pc: u32,
     insns: u32,
@@ -204,12 +209,22 @@ impl NDroidAnalysis {
             protect_taints: true,
             policy_override: SourcePolicyOverride::AsPaper,
             violations: Vec::new(),
-            chain_specs,
-            inner_addrs,
+            chain_specs: Rc::new(chain_specs),
+            inner_addrs: Rc::new(inner_addrs),
             active: Vec::new(),
             stats: AnalysisStats::default(),
             block: BlockAcc::default(),
         }
+    }
+
+    /// Declares the handler cache's contents valid for the memory
+    /// lineage identified by `epoch` **without clearing them** — used
+    /// only by snapshot forks, which carry the memory image and this
+    /// cache as one unit, so the cached page generations still match
+    /// the forked pages byte-for-byte and the cache stays warm (and
+    /// its hit/miss counters replay-identical to a fresh run).
+    pub fn rebind_cache_epoch(&mut self, epoch: u64) {
+        self.cache.rebind_epoch(epoch);
     }
 
     /// The source-policy map (for inspection in tests/benches).

@@ -30,7 +30,7 @@ impl Analysis for TaintDroidAnalysis {}
 /// no guest-binary interpreter to trace, so each interpreted bytecode
 /// pays the analysis work DroidScope would spend on the interpreter's
 /// machine instructions.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct DroidScopeLikeAnalysis {
     /// Instructions analyzed.
     pub insns_traced: u64,

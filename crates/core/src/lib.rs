@@ -46,4 +46,4 @@ pub use ndroid_provenance::{
     ProvenanceSummary,
 };
 pub use source_policy::SourcePolicy;
-pub use system::{Mode, NDroidSystem};
+pub use system::{Mode, NDroidSystem, Snapshot};

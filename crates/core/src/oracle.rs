@@ -258,7 +258,7 @@ pub fn ref_propagate(
 /// tracer. Everything except per-instruction taint work is delegated
 /// to an inner [`NDroidAnalysis`] (those paths are not under test
 /// here; sharing them isolates the diff to the tracer).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ReferenceAnalysis {
     inner: NDroidAnalysis,
 }

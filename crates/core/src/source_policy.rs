@@ -102,7 +102,7 @@ impl SourcePolicy {
 }
 
 /// The `<addr, SourcePolicy>` hash map of §V-B.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SourcePolicyMap {
     map: HashMap<u32, SourcePolicy>,
     /// Number of policies ever installed (statistics).

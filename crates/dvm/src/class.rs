@@ -4,6 +4,7 @@ use crate::bytecode::DexInsn;
 use crate::error::DvmError;
 use crate::framework::Intrinsic;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Index of a class in the [`Program`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -153,11 +154,19 @@ pub struct ClassDef {
 
 /// A loaded application: classes, a flat method table, static-field
 /// storage, and interned strings.
-#[derive(Debug, Default)]
+///
+/// The class and method tables — by far the bulk of a loaded program,
+/// and immutable once the app is assembled — sit behind `Rc` so that
+/// cloning a `Program` (snapshot fan-out forks one per scenario) is a
+/// couple of refcount bumps plus the small mutable parts: static-field
+/// storage (written at runtime by `SPut`) and the interned-string and
+/// class-name tables. The rare post-clone structural mutation (e.g. a
+/// test interning a new string constant) privatizes via `Rc::make_mut`.
+#[derive(Debug, Default, Clone)]
 pub struct Program {
-    classes: Vec<ClassDef>,
-    methods: Vec<(ClassId, MethodDef)>,
-    class_by_name: HashMap<String, ClassId>,
+    classes: Rc<Vec<ClassDef>>,
+    methods: Rc<Vec<(ClassId, MethodDef)>>,
+    class_by_name: Rc<HashMap<String, ClassId>>,
     /// Static field values, per class, paired with their taint labels
     /// (interleaved storage per TaintDroid §II-B).
     pub statics: Vec<Vec<(u32, crate::taint::Taint)>>,
@@ -183,18 +192,18 @@ impl Program {
             def.name
         );
         let id = ClassId(self.classes.len() as u32);
-        self.class_by_name.insert(def.name.clone(), id);
+        Rc::make_mut(&mut self.class_by_name).insert(def.name.clone(), id);
         self.statics
             .push(vec![(0, crate::taint::Taint::CLEAR); def.static_fields.len()]);
-        self.classes.push(def);
+        Rc::make_mut(&mut self.classes).push(def);
         id
     }
 
     /// Adds a method to `class`, returning its id.
     pub fn add_method(&mut self, class: ClassId, def: MethodDef) -> MethodId {
         let id = MethodId(self.methods.len() as u32);
-        self.methods.push((class, def));
-        self.classes[class.0 as usize].methods.push(id);
+        Rc::make_mut(&mut self.methods).push((class, def));
+        Rc::make_mut(&mut self.classes)[class.0 as usize].methods.push(id);
         id
     }
 
@@ -305,7 +314,7 @@ impl Program {
     ///
     /// Panics if `id` is not a native method.
     pub fn set_native_entry(&mut self, id: MethodId, entry: u32) {
-        match &mut self.methods[id.0 as usize].1.kind {
+        match &mut Rc::make_mut(&mut self.methods)[id.0 as usize].1.kind {
             MethodKind::Native { entry: e } => *e = entry,
             _ => panic!("method {} is not native", id.0),
         }

@@ -12,6 +12,7 @@ use crate::error::DvmError;
 use crate::object::HeapObject;
 use crate::taint::Taint;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Stable identity of a heap object (survives GC moves).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,9 +23,14 @@ pub struct ObjectId(pub u32);
 pub const HEAP_BASE: u32 = 0x4100_0000;
 
 /// The managed object heap.
-#[derive(Debug, Default)]
+///
+/// Objects are `Rc`-shared **copy-on-write**: cloning the heap (for a
+/// snapshot fork) is one refcount bump per object, and a mutable
+/// borrow privatizes just the touched object via `Rc::make_mut` — so
+/// thousands of forked scenarios share one warmed-up heap image.
+#[derive(Debug, Default, Clone)]
 pub struct Heap {
-    objects: Vec<Option<HeapObject>>,
+    objects: Vec<Option<Rc<HeapObject>>>,
     direct_addrs: Vec<u32>,
     by_addr: HashMap<u32, ObjectId>,
     next_addr: u32,
@@ -64,7 +70,7 @@ impl Heap {
         let id = ObjectId(self.objects.len() as u32);
         let addr = self.next_addr;
         self.next_addr += ((size as u32) + 7) & !7;
-        self.objects.push(Some(obj));
+        self.objects.push(Some(Rc::new(obj)));
         self.direct_addrs.push(addr);
         self.by_addr.insert(addr, id);
         id
@@ -86,7 +92,7 @@ impl Heap {
     pub fn get(&self, id: ObjectId) -> Result<&HeapObject, DvmError> {
         self.objects
             .get(id.0 as usize)
-            .and_then(|o| o.as_ref())
+            .and_then(|o| o.as_deref())
             .ok_or(DvmError::DanglingObject(id.0))
     }
 
@@ -99,6 +105,7 @@ impl Heap {
         self.objects
             .get_mut(id.0 as usize)
             .and_then(|o| o.as_mut())
+            .map(Rc::make_mut)
             .ok_or(DvmError::DanglingObject(id.0))
     }
 
@@ -169,7 +176,7 @@ impl Heap {
                 kind: crate::object::ArrayKind::Object,
                 data,
                 ..
-            }) = &self.objects[idx]
+            }) = self.objects[idx].as_deref()
             {
                 for slot in data {
                     if *slot != 0 {
@@ -177,7 +184,7 @@ impl Heap {
                     }
                 }
             }
-            if let Some(HeapObject::Exception { message, .. }) = &self.objects[idx] {
+            if let Some(HeapObject::Exception { message, .. }) = self.objects[idx].as_deref() {
                 if *message != 0 {
                     work.push(ObjectId(message - 1));
                 }

@@ -57,7 +57,7 @@ struct Entry {
 }
 
 /// The per-VM indirect reference table (locals and globals).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct IndirectRefTable {
     locals: Vec<Option<Entry>>,
     globals: Vec<Option<Entry>>,

@@ -103,7 +103,7 @@ enum Outcome {
 /// The virtual machine: program, heap, indirect references, the
 /// TaintDroid stack, and the thread's `InterpSaveState`
 /// (`ret_val`/`ret_taint`).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dvm {
     /// The loaded program (classes, methods, statics, string pool).
     pub program: Program,

@@ -36,7 +36,7 @@ const SAVE_AREA_MAGIC: u32 = 0x5AFE_CAFE;
 const SAVE_AREA_SLOTS: usize = 4;
 
 /// The TaintDroid-modified interpreter stack.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct DvmStack {
     slots: Vec<u32>,
     fp: usize,

@@ -29,7 +29,7 @@ enum FdObject {
 
 /// A simple first-fit free-list allocator over the guest native-heap
 /// region (backs `malloc`/`free`/`realloc`).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NativeHeap {
     cursor: u32,
     end: u32,
@@ -97,7 +97,7 @@ impl NativeHeap {
 }
 
 /// The simulated kernel state.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Kernel {
     /// In-memory filesystem: path → contents.
     pub fs: HashMap<String, Vec<u8>>,

@@ -61,7 +61,7 @@ impl ProcessView {
 
 /// Writes task records into guest kernel memory (what the simulated
 /// kernel does as processes map libraries).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TaskWriter {
     processes: Vec<ProcessView>,
 }

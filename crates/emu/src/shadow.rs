@@ -29,6 +29,7 @@ use ndroid_arm::mem::{PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
 use ndroid_dvm::{IndirectRef, Taint};
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// One 4 KiB page of byte taints plus its summary words.
 #[derive(Debug, Clone)]
@@ -63,9 +64,17 @@ fn count_tainted(s: &[Taint]) -> usize {
 /// taint are materialized, so a mostly-clean guest still costs almost
 /// nothing — one of the reasons NDroid is cheaper than whole-system
 /// approaches.
+///
+/// Pages are `Rc`-shared **copy-on-write**, mirroring guest
+/// [`Memory`](ndroid_arm::Memory): `clone` copies only the page table
+/// and every mutator privatizes the touched page lazily via
+/// `Rc::make_mut`, so snapshot/fork of a warmed system shares shadow
+/// pages the same way it shares guest pages. Unlike guest memory the
+/// taint map needs no epoch: nothing external pins its slots — its
+/// one-entry TLB is internal and reset on clone.
 #[derive(Debug, Default)]
 pub struct TaintMap {
-    pages: Vec<TaintPage>,
+    pages: Vec<Rc<TaintPage>>,
     index: HashMap<u32, u32>,
     tlb: Cell<Option<(u32, u32)>>, // (page number, pages[] slot)
 }
@@ -104,7 +113,7 @@ impl TaintMap {
             return slot;
         }
         let slot = self.pages.len() as u32;
-        self.pages.push(TaintPage::new());
+        self.pages.push(Rc::new(TaintPage::new()));
         self.index.insert(pageno, slot);
         self.tlb.set(Some((pageno, slot)));
         slot
@@ -134,21 +143,24 @@ impl TaintMap {
             let Some(slot) = self.slot_of(addr >> PAGE_SHIFT) else {
                 return;
             };
-            let p = &mut self.pages[slot as usize];
-            if p.live == 0 {
-                return;
-            }
-            let b = &mut p.taints[(addr & PAGE_MASK) as usize];
-            if b.is_tainted() {
-                *b = Taint::CLEAR;
-                p.live -= 1;
-                if p.live == 0 {
-                    p.summary = Taint::CLEAR;
+            // Check via a shared borrow first so an all-clear store
+            // never privatizes a CoW-shared page.
+            let off = (addr & PAGE_MASK) as usize;
+            {
+                let p = &self.pages[slot as usize];
+                if p.live == 0 || p.taints[off].is_clear() {
+                    return;
                 }
+            }
+            let p = Rc::make_mut(&mut self.pages[slot as usize]);
+            p.taints[off] = Taint::CLEAR;
+            p.live -= 1;
+            if p.live == 0 {
+                p.summary = Taint::CLEAR;
             }
         } else {
             let slot = self.slot_or_alloc(addr >> PAGE_SHIFT);
-            let p = &mut self.pages[slot as usize];
+            let p = Rc::make_mut(&mut self.pages[slot as usize]);
             let b = &mut p.taints[(addr & PAGE_MASK) as usize];
             if b.is_clear() {
                 p.live += 1;
@@ -165,7 +177,7 @@ impl TaintMap {
             return;
         }
         let slot = self.slot_or_alloc(addr >> PAGE_SHIFT);
-        let p = &mut self.pages[slot as usize];
+        let p = Rc::make_mut(&mut self.pages[slot as usize]);
         let b = &mut p.taints[(addr & PAGE_MASK) as usize];
         if b.is_clear() {
             p.live += 1;
@@ -186,7 +198,7 @@ impl TaintMap {
             let off = (a & PAGE_MASK) as usize;
             let n = ((PAGE_SIZE - off) as u32).min(len - i) as usize;
             let slot = self.slot_or_alloc(a >> PAGE_SHIFT);
-            let p = &mut self.pages[slot as usize];
+            let p = Rc::make_mut(&mut self.pages[slot as usize]);
             let already = if n == PAGE_SIZE {
                 p.live as usize
             } else {
@@ -210,7 +222,7 @@ impl TaintMap {
             let off = (a & PAGE_MASK) as usize;
             let n = ((PAGE_SIZE - off) as u32).min(len - i) as usize;
             let slot = self.slot_or_alloc(a >> PAGE_SHIFT);
-            let p = &mut self.pages[slot as usize];
+            let p = Rc::make_mut(&mut self.pages[slot as usize]);
             let mut newly = 0u32;
             for b in &mut p.taints[off..off + n] {
                 if b.is_clear() {
@@ -264,18 +276,24 @@ impl TaintMap {
         let Some(slot) = self.slot_of(pageno) else {
             return;
         };
-        let p = &mut self.pages[slot as usize];
-        if p.live == 0 {
-            return;
-        }
-        let cleared = if n == PAGE_SIZE {
-            p.live as usize
-        } else {
-            count_tainted(&p.taints[off..off + n])
+        // Decide through a shared borrow whether anything will change,
+        // so clearing an already-clean span never privatizes a
+        // CoW-shared page.
+        let cleared = {
+            let p = &self.pages[slot as usize];
+            if p.live == 0 {
+                return;
+            }
+            if n == PAGE_SIZE {
+                p.live as usize
+            } else {
+                count_tainted(&p.taints[off..off + n])
+            }
         };
         if cleared == 0 {
             return;
         }
+        let p = Rc::make_mut(&mut self.pages[slot as usize]);
         p.taints[off..off + n].fill(Taint::CLEAR);
         p.live -= cleared as u32;
         if p.live == 0 {
@@ -334,7 +352,7 @@ impl TaintMap {
             return;
         }
         if src >> PAGE_SHIFT == dst >> PAGE_SHIFT {
-            let p = &mut self.pages[s_slot as usize];
+            let p = Rc::make_mut(&mut self.pages[s_slot as usize]);
             let before = count_tainted(&p.taints[d_off..d_off + n]);
             p.taints.copy_within(s_off..s_off + n, d_off);
             let after = count_tainted(&p.taints[d_off..d_off + n]);
@@ -347,16 +365,11 @@ impl TaintMap {
         }
         let d_slot = self.slot_or_alloc(dst >> PAGE_SHIFT);
         debug_assert_ne!(s_slot, d_slot);
-        let (sp, dp) = {
-            let (a, b) = (s_slot as usize, d_slot as usize);
-            if a < b {
-                let (lo, hi) = self.pages.split_at_mut(b);
-                (&lo[a], &mut hi[0])
-            } else {
-                let (lo, hi) = self.pages.split_at_mut(a);
-                (&hi[0], &mut lo[b])
-            }
-        };
+        // A cheap handle clone of the source page stands in for the
+        // old split-borrow dance: with Rc pages, aliasing the source
+        // while privatizing the destination is a refcount bump.
+        let sp = Rc::clone(&self.pages[s_slot as usize]);
+        let dp = Rc::make_mut(&mut self.pages[d_slot as usize]);
         let before = count_tainted(&dp.taints[d_off..d_off + n]);
         dp.taints[d_off..d_off + n].copy_from_slice(&sp.taints[s_off..s_off + n]);
         let after = count_tainted(&dp.taints[d_off..d_off + n]);
@@ -376,6 +389,13 @@ impl TaintMap {
     /// Number of shadow pages currently materialized.
     pub fn page_count(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Number of shadow pages exclusively owned by this map (see
+    /// [`Memory::resident_pages`](ndroid_arm::Memory::resident_pages);
+    /// 0 right after a clone, grows as writes privatize pages).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| Rc::strong_count(p) == 1).count()
     }
 
     /// Every `(address, taint)` pair with a non-clear taint, sorted by
@@ -696,6 +716,47 @@ mod tests {
         m.set_range(0x800, 8, Taint::IMEI);
         m.copy_range(0x800, 0x9_0000, 8); // source never touched
         assert_eq!(m.tainted_bytes(), 0);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut m = TaintMap::new();
+        m.set_range(0x1000, 2 * PAGE_SIZE as u32, Taint::IMEI);
+        assert_eq!(m.resident_pages(), 2);
+        let mut fork = m.clone();
+        assert_eq!(fork.resident_pages(), 0, "all pages shared at clone");
+        assert_eq!(fork.tainted_bytes(), m.tainted_bytes());
+
+        // Writing one byte privatizes exactly one page, one side only.
+        fork.add(0x1004, Taint::SMS);
+        assert_eq!(fork.resident_pages(), 1);
+        assert_eq!(fork.get(0x1004), Taint::IMEI | Taint::SMS);
+        assert_eq!(m.get(0x1004), Taint::IMEI, "original unaffected");
+
+        // Reads and no-op mutations never privatize shared pages.
+        let shared_before = fork.page_count() - fork.resident_pages();
+        let _ = fork.get(0x2004);
+        let _ = fork.range_taint(0x2000, 64);
+        fork.set(0x5_0000, Taint::CLEAR); // unmapped, stays unmapped
+        fork.clear_range(0x2_0000, 64); // unmapped span
+        assert_eq!(fork.page_count() - fork.resident_pages(), shared_before);
+
+        // Clearing everything on the fork leaves the original intact.
+        fork.clear_range(0x1000, 2 * PAGE_SIZE as u32);
+        assert_eq!(fork.tainted_bytes(), 0);
+        assert_eq!(m.tainted_bytes(), 2 * PAGE_SIZE);
+        assert_eq!(m.tainted_entries().len(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn cow_copy_range_across_pages_after_clone() {
+        let mut m = TaintMap::new();
+        m.set_range(0x1FF0, 32, Taint::CONTACTS);
+        let mut fork = m.clone();
+        fork.copy_range(0x4FFB, 0x1FF0, 32);
+        assert_eq!(fork.range_taint(0x4FFB, 32), Taint::CONTACTS);
+        assert_eq!(m.range_taint(0x4FFB, 32), Taint::CLEAR);
+        assert_eq!(fork.range_taint(0x1FF0, 32), Taint::CONTACTS, "source intact");
     }
 
     #[test]

@@ -217,8 +217,20 @@ pub const DEFAULT_CAPACITY: usize = 1 << 16;
 /// A bounded event ring with an exact drop counter. Eviction is
 /// oldest-first; no code path panics (a zero-capacity ring simply
 /// drops everything it is offered).
+///
+/// The ring can carry a **sealed base**: an immutable, `Rc`-shared
+/// prefix produced by [`Ring::seal`]. Snapshot forks seal the parent's
+/// events once and then every fork shares the base copy-on-write (a
+/// refcount bump), appending its own divergent tail into `buf`.
+/// Readers see base-then-tail as one stream; eviction consumes the
+/// base logically via `base_skip` before touching the tail.
 #[derive(Debug, Clone, Default)]
 pub struct Ring {
+    /// Sealed shared prefix (`None` until the first [`Ring::seal`]).
+    base: Option<Rc<[ProvEvent]>>,
+    /// Events of `base` already evicted (never exceeds `base.len()`;
+    /// always 0 while `base` is `None`).
+    base_skip: usize,
     buf: VecDeque<ProvEvent>,
     cap: usize,
     dropped: u64,
@@ -229,6 +241,8 @@ impl Ring {
     /// An empty ring holding at most `cap` events.
     pub fn new(cap: usize) -> Ring {
         Ring {
+            base: None,
+            base_skip: 0,
             // Do not pre-reserve `cap`: rings are sized for the worst
             // case but most runs stay small.
             buf: VecDeque::new(),
@@ -236,6 +250,28 @@ impl Ring {
             dropped: 0,
             recorded: 0,
         }
+    }
+
+    /// Live (non-evicted) events still answered from the sealed base.
+    #[inline]
+    fn base_len(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.len()) - self.base_skip
+    }
+
+    /// Collapses the held events into a single `Rc`-shared immutable
+    /// base. O(len) when there is an unsealed tail or a partially
+    /// evicted base, a no-op otherwise; observable state (events,
+    /// counters, capacity) is unchanged. Clones taken after a seal
+    /// share the base copy-on-write — this is what makes snapshot
+    /// fan-out O(1) per fork in ring cost.
+    pub fn seal(&mut self) {
+        if self.buf.is_empty() && self.base_skip == 0 {
+            return;
+        }
+        let merged: Vec<ProvEvent> = self.events().cloned().collect();
+        self.base = Some(Rc::from(merged));
+        self.base_skip = 0;
+        self.buf.clear();
     }
 
     /// Appends an event, evicting the oldest (and counting the drop)
@@ -246,26 +282,34 @@ impl Ring {
             self.dropped += 1;
             return;
         }
-        if self.buf.len() >= self.cap {
-            self.buf.pop_front();
+        if self.len() >= self.cap {
+            // Oldest first: drain the sealed base logically before the
+            // private tail (the base itself is immutable and shared).
+            if self.base_len() > 0 {
+                self.base_skip += 1;
+            } else {
+                self.buf.pop_front();
+            }
             self.dropped += 1;
         }
         self.buf.push_back(ev);
     }
 
-    /// Events currently held, oldest first.
+    /// Events currently held, oldest first (sealed base, then the
+    /// private tail).
     pub fn events(&self) -> impl Iterator<Item = &ProvEvent> {
-        self.buf.iter()
+        let base = self.base.as_deref().unwrap_or(&[]);
+        base[self.base_skip..].iter().chain(self.buf.iter())
     }
 
     /// Number of events currently held.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.base_len() + self.buf.len()
     }
 
     /// Whether no events are held.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
     }
 
     /// Total events offered (held + dropped).
@@ -358,6 +402,28 @@ impl Handle {
     /// Events dropped by the ring (exact).
     pub fn dropped(&self) -> u64 {
         self.ring.as_ref().map_or(0, |r| r.borrow().dropped())
+    }
+
+    /// An **independent** recorder continuing from this one's exact
+    /// current contents and counters, for snapshot forks: the held
+    /// events are sealed into an `Rc`-shared immutable base
+    /// ([`Ring::seal`] — O(len) once, then every further fork from the
+    /// same state is O(1)) and the new handle gets its own ring over
+    /// that base, so parent and fork diverge without copying history.
+    /// `Off` handles fork to `Off` handles at zero cost.
+    pub fn fork(&self) -> Handle {
+        let ring = self.ring.as_ref().map(|ring| {
+            let forked = {
+                let mut r = ring.borrow_mut();
+                r.seal();
+                r.clone()
+            };
+            Rc::new(RefCell::new(forked))
+        });
+        Handle {
+            level: self.level,
+            ring,
+        }
     }
 }
 
@@ -601,6 +667,100 @@ impl Handle {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fork_carries_events_and_counters_then_diverges() {
+        let parent = Handle::new(Level::Full);
+        parent.emit(ProvEvent::Source {
+            label: 0x2,
+            api: "a".into(),
+        });
+        parent.emit(ProvEvent::Source {
+            label: 0x4,
+            api: "b".into(),
+        });
+        let child = parent.fork();
+        assert_eq!(child.recorded(), 2);
+        assert_eq!(child.dropped(), 0);
+        assert_eq!(child.snapshot(), parent.snapshot());
+
+        // Divergent tails stay private to each side.
+        parent.emit(ProvEvent::Source {
+            label: 0x8,
+            api: "p".into(),
+        });
+        child.emit(ProvEvent::Source {
+            label: 0x10,
+            api: "c".into(),
+        });
+        assert_eq!(parent.recorded(), 3);
+        assert_eq!(child.recorded(), 3);
+        let pv = parent.snapshot();
+        let cv = child.snapshot();
+        assert_eq!(pv.len(), 3);
+        assert_eq!(cv.len(), 3);
+        assert_eq!(pv[..2], cv[..2]);
+        assert_ne!(pv[2], cv[2]);
+    }
+
+    #[test]
+    fn fork_of_off_handle_stays_off_and_free() {
+        let off = Handle::new(Level::Off);
+        let fork = off.fork();
+        assert!(!fork.is_on());
+        assert_eq!(fork.level(), Level::Off);
+        fork.emit(ProvEvent::Source {
+            label: 0x1,
+            api: "ignored".into(),
+        });
+        assert_eq!(fork.recorded(), 0);
+    }
+
+    #[test]
+    fn sealed_base_evicts_oldest_first_with_exact_drop_count() {
+        let mut ring = Ring::new(4);
+        for i in 0..4u32 {
+            ring.push(ProvEvent::Source {
+                label: i,
+                api: "s".into(),
+            });
+        }
+        ring.seal();
+        let mut fork = ring.clone();
+        // Overflow the fork: eviction must consume the shared base
+        // logically (oldest first) without disturbing the original.
+        for i in 4..7u32 {
+            fork.push(ProvEvent::Source {
+                label: i,
+                api: "s".into(),
+            });
+        }
+        let labels: Vec<u32> = fork
+            .events()
+            .map(|e| match e {
+                ProvEvent::Source { label, .. } => *label,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(labels, vec![3, 4, 5, 6]);
+        assert_eq!(fork.recorded(), 7);
+        assert_eq!(fork.dropped(), 3);
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 0);
+
+        // Re-sealing a partially evicted ring compacts it and keeps
+        // the observable stream identical.
+        fork.seal();
+        let after: Vec<u32> = fork
+            .events()
+            .map(|e| match e {
+                ProvEvent::Source { label, .. } => *label,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(after, vec![3, 4, 5, 6]);
+        assert_eq!(fork.dropped(), 3);
+    }
 
     fn source(label: u32, api: &str) -> ProvEvent {
         ProvEvent::Source {

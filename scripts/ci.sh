@@ -81,11 +81,20 @@ cargo run -q --release --offline -p ndroid-bench --bin exp_adversarial
 # stepper must reproduce the identical score matrix and transcript.
 cargo run -q --release --offline -p ndroid-bench --bin exp_adversarial -- --no-blocks
 
+stage "snapshot fan-out: 1000 forked sessions must match 1000 fresh boots"
+# Fans 1000 monkey schedules over the gated-leak app twice — re-booting
+# per session vs forking every session from one warmed copy-on-write
+# image per worker — and exits non-zero unless the merged BatchReports
+# (and their renderings) are byte-identical. The snapshot determinism
+# wall (fork == fresh across engines, SMC-after-fork) runs with the
+# workspace tests above; this gate is the at-scale end-to-end check.
+cargo run -q --release --offline -p ndroid-bench --bin exp_snapshot -- --sessions 1000 --workers 4
+
 stage "bench smoke pass (TESTKIT_BENCH_SMOKE=1)"
 BENCH_DIR="$(mktemp -d)"
 TESTKIT_BENCH_SMOKE=1 TESTKIT_BENCH_DIR="$BENCH_DIR" \
   cargo bench -q --offline -p ndroid-bench
-for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json BENCH_oracle.json BENCH_batch.json BENCH_provenance.json BENCH_adversarial.json BENCH_blocks.json; do
+for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json BENCH_oracle.json BENCH_batch.json BENCH_provenance.json BENCH_adversarial.json BENCH_blocks.json BENCH_snapshot.json; do
   if [ ! -s "$BENCH_DIR/$f" ]; then
     echo "error: bench smoke did not produce $f" >&2
     exit 1
