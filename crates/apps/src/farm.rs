@@ -1,29 +1,40 @@
-//! Front-end for the batch-analysis farm ([`ndroid_core::batch`]):
-//! packages the workloads this crate knows how to build — gallery
-//! apps, Table-I case apps, synthetic corpus samples, monkey-driver
-//! sessions — into [`AnalysisJob`]s.
+//! Front-end for the batch-analysis farm ([`ndroid_core::batch`]) and
+//! the resident service ([`ndroid_core::service`]): packages the
+//! workloads this crate knows how to build — gallery apps, Table-I
+//! case apps, synthetic corpus samples, monkey-driver sessions — as
+//! [`JobSource`]s ([`Gallery`], [`Cases`], [`CorpusShard`],
+//! [`Adversarial`], [`Monkey`]).
 //!
 //! Jobs construct their `App` (and its `NDroidSystem`) *inside* the
 //! closure, on whatever worker thread picks them up; only the
 //! [`SystemConfig`] and a builder `fn` (or a [`FlowSpec`]) cross the
 //! thread boundary. That keeps `App` itself free of any `Send`
 //! obligation and guarantees per-worker system isolation.
+//!
+//! Feed a source to the offline farm with
+//! [`ndroid_core::batch::jobs_from`] + [`ndroid_core::batch::run_batch`],
+//! or stream it through a live service with
+//! [`ndroid_core::AnalysisService::submit_source`]. The legacy
+//! free-function entry points (`gallery_jobs` & co.) survive one
+//! release as `#[deprecated]` wrappers over the sources.
 
 use crate::builder::App;
 use crate::driver::{drive, gated_leak_app, GATED_ENTRIES};
 use crate::synth::{build, FlowSpec, Hop, Sink, Source};
-use ndroid_core::batch::AnalysisJob;
+use ndroid_core::batch::{AnalysisJob, JobSource};
 use ndroid_core::SystemConfig;
 use ndroid_corpus::{AppRecord, CorpusConfig, JniType};
 
 /// Wraps one app constructor as a job: build, run to completion under
-/// `config`, snapshot the [`ndroid_core::RunReport`].
+/// `config`, snapshot the [`ndroid_core::RunReport`]. The config rides
+/// the job as inspectable metadata ([`AnalysisJob::config`]) for queue
+/// observability and warm-image keying.
 pub fn app_job(
     label: impl Into<String>,
     config: SystemConfig,
     builder: fn() -> App,
 ) -> AnalysisJob {
-    AnalysisJob::new(label, move || {
+    AnalysisJob::builder(label).config(config.clone()).run(move || {
         builder()
             .run_with(config)
             .map(|sys| sys.report())
@@ -32,31 +43,49 @@ pub fn app_job(
 }
 
 /// The three case-study gallery apps (QQPhoneBook, the Thumb spy, the
-/// crypto hider), as farm jobs.
-pub fn gallery_jobs(config: &SystemConfig) -> Vec<AnalysisJob> {
-    let apps: [(&str, fn() -> App); 3] = [
-        ("gallery/qq_phonebook", crate::qq_phonebook::qq_phonebook),
-        ("gallery/thumb_spy", crate::thumb_spy::thumb_spy),
-        ("gallery/crypto_hider", crate::crypto_hider::crypto_hider),
-    ];
-    apps.into_iter()
-        .map(|(label, f)| app_job(label, config.clone(), f))
-        .collect()
+/// crypto hider), in pinned order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gallery;
+
+impl JobSource for Gallery {
+    fn name(&self) -> &'static str {
+        "gallery"
+    }
+
+    fn jobs(&self, config: &SystemConfig) -> Vec<AnalysisJob> {
+        let apps: [(&str, fn() -> App); 3] = [
+            ("gallery/qq_phonebook", crate::qq_phonebook::qq_phonebook),
+            ("gallery/thumb_spy", crate::thumb_spy::thumb_spy),
+            ("gallery/crypto_hider", crate::crypto_hider::crypto_hider),
+        ];
+        apps.into_iter()
+            .map(|(label, f)| app_job(label, config.clone(), f))
+            .collect()
+    }
 }
 
-/// The Table-I information-flow case apps, as farm jobs.
-pub fn case_jobs(config: &SystemConfig) -> Vec<AnalysisJob> {
-    let apps: [(&str, fn() -> App); 6] = [
-        ("case/case1", crate::cases::case1),
-        ("case/case1'", crate::cases::case1_prime),
-        ("case/case1'-cb", crate::cases::case1_prime_callback),
-        ("case/case2", crate::cases::case2),
-        ("case/case3", crate::cases::case3),
-        ("case/case4", crate::cases::case4),
-    ];
-    apps.into_iter()
-        .map(|(label, f)| app_job(label, config.clone(), f))
-        .collect()
+/// The Table-I information-flow case apps, in pinned order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cases;
+
+impl JobSource for Cases {
+    fn name(&self) -> &'static str {
+        "cases"
+    }
+
+    fn jobs(&self, config: &SystemConfig) -> Vec<AnalysisJob> {
+        let apps: [(&str, fn() -> App); 6] = [
+            ("case/case1", crate::cases::case1),
+            ("case/case1'", crate::cases::case1_prime),
+            ("case/case1'-cb", crate::cases::case1_prime_callback),
+            ("case/case2", crate::cases::case2),
+            ("case/case3", crate::cases::case3),
+            ("case/case4", crate::cases::case4),
+        ];
+        apps.into_iter()
+            .map(|(label, f)| app_job(label, config.clone(), f))
+            .collect()
+    }
 }
 
 fn record_hash(record: &AppRecord) -> u64 {
@@ -122,139 +151,224 @@ pub fn shard_corpus_config(n: usize, seed: u64) -> CorpusConfig {
     }
 }
 
-/// Generates a pinned corpus shard and wraps its first `n` Type-I
-/// (library-shipping) samples as farm jobs: each record maps through
-/// [`spec_for_record`] to a synthetic JNI flow app with known ground
-/// truth, built and run on the worker.
-pub fn corpus_shard_jobs(config: &SystemConfig, n: usize, seed: u64) -> Vec<AnalysisJob> {
-    let records = ndroid_corpus::generate(&shard_corpus_config(n, seed));
-    records
-        .into_iter()
-        .filter(|r| r.jni_type() == JniType::TypeI && !r.native_libs.is_empty())
-        .take(n)
-        .map(|record| {
-            let spec = spec_for_record(&record);
-            let label = format!("corpus/app_{:05}", record.id);
-            let config = config.clone();
-            AnalysisJob::new(label, move || {
-                build(&spec)
-                    .run_with(config)
-                    .map(|sys| sys.report())
-                    .map_err(|e| e.to_string())
-            })
-        })
-        .collect()
+/// A pinned corpus shard: the first `n` Type-I (library-shipping)
+/// samples of the corpus generated from `seed`, each record mapped
+/// through [`spec_for_record`] to a synthetic JNI flow app with known
+/// ground truth, built and run on the worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusShard {
+    /// Number of samples in the shard.
+    pub n: usize,
+    /// Corpus generator seed.
+    pub seed: u64,
 }
 
-/// The adversarial corpus ([`crate::adversarial::corpus`]) as farm
-/// jobs, in pinned corpus order. Score the resulting [`BatchReport`]
-/// with [`ndroid_core::score::score_batch`] against
-/// [`crate::adversarial::expected_leak`].
-pub fn adversarial_jobs(config: &SystemConfig) -> Vec<AnalysisJob> {
-    crate::adversarial::corpus()
-        .into_iter()
-        .map(|case| {
-            let config = config.clone();
-            AnalysisJob::new(case.label, move || {
-                case.build()
-                    .run_with(config)
-                    .map(|sys| sys.report())
-                    .map_err(|e| e.to_string())
+impl JobSource for CorpusShard {
+    fn name(&self) -> &'static str {
+        "corpus_shard"
+    }
+
+    fn jobs(&self, config: &SystemConfig) -> Vec<AnalysisJob> {
+        let records = ndroid_corpus::generate(&shard_corpus_config(self.n, self.seed));
+        records
+            .into_iter()
+            .filter(|r| r.jni_type() == JniType::TypeI && !r.native_libs.is_empty())
+            .take(self.n)
+            .map(|record| {
+                let spec = spec_for_record(&record);
+                let label = format!("corpus/app_{:05}", record.id);
+                let config = config.clone();
+                AnalysisJob::builder(label).config(config.clone()).run(move || {
+                    build(&spec)
+                        .run_with(config)
+                        .map(|sys| sys.report())
+                        .map_err(|e| e.to_string())
+                })
             })
-        })
-        .collect()
+            .collect()
+    }
+}
+
+/// The adversarial corpus ([`crate::adversarial::corpus`]), in pinned
+/// corpus order. Score the resulting [`ndroid_core::BatchReport`] with
+/// [`ndroid_core::score::score_batch`] against
+/// [`crate::adversarial::expected_leak`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Adversarial;
+
+impl JobSource for Adversarial {
+    fn name(&self) -> &'static str {
+        "adversarial"
+    }
+
+    fn jobs(&self, config: &SystemConfig) -> Vec<AnalysisJob> {
+        crate::adversarial::corpus()
+            .into_iter()
+            .map(|case| {
+                let config = config.clone();
+                AnalysisJob::builder(case.label).config(config.clone()).run(move || {
+                    case.build()
+                        .run_with(config)
+                        .map(|sys| sys.report())
+                        .map_err(|e| e.to_string())
+                })
+            })
+            .collect()
+    }
 }
 
 /// Monkey-driver sessions over the gated-leak app: session `i` drives
 /// `steps` pseudo-random events from seed `base_seed + i`. A session
 /// whose invocations throw is reported as a failed job.
+///
+/// With `fork: true`, sessions fan out from a **copy-on-write
+/// snapshot** instead of re-booting: each worker thread boots and
+/// warms the app once per distinct [`SystemConfig`], captures an
+/// [`ndroid_core::Snapshot`], and every session on that worker forks
+/// from the image (O(page-table), pages copied lazily on first
+/// write). Behaviorally identical to `fork: false` — the same `steps`
+/// events from the same seed produce an equal
+/// [`ndroid_core::RunReport`]; the `exp_snapshot` gate and the
+/// determinism tests pin that equality. Because the warm image is
+/// thread-local, resident service workers
+/// ([`ndroid_core::AnalysisService`]) keep it hot across submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Monkey {
+    /// Number of driver sessions.
+    pub sessions: usize,
+    /// Pseudo-random events per session.
+    pub steps: usize,
+    /// Session `i` seeds its PRNG with `base_seed + i`.
+    pub base_seed: u64,
+    /// Fork each session from a per-worker warm CoW snapshot instead
+    /// of booting fresh.
+    pub fork: bool,
+}
+
+impl Monkey {
+    /// Fresh-boot sessions (the legacy `monkey_jobs` shape).
+    pub fn fresh(sessions: usize, steps: usize, base_seed: u64) -> Monkey {
+        Monkey { sessions, steps, base_seed, fork: false }
+    }
+
+    /// Snapshot-forked sessions (the legacy `monkey_fork_jobs` shape).
+    pub fn forked(sessions: usize, steps: usize, base_seed: u64) -> Monkey {
+        Monkey { sessions, steps, base_seed, fork: true }
+    }
+}
+
+impl JobSource for Monkey {
+    fn name(&self) -> &'static str {
+        "monkey"
+    }
+
+    fn jobs(&self, config: &SystemConfig) -> Vec<AnalysisJob> {
+        use ndroid_core::Snapshot;
+        use std::cell::RefCell;
+
+        // One warm image per worker thread per configuration. Snapshots
+        // hold `Rc`s and so cannot cross threads; jobs only carry the
+        // (Send) config and rebuild the image on whichever worker runs
+        // them first.
+        thread_local! {
+            static WARM: RefCell<Option<(SystemConfig, Snapshot)>> =
+                const { RefCell::new(None) };
+        }
+
+        let fork = self.fork;
+        let steps = self.steps;
+        (0..self.sessions)
+            .map(|i| {
+                let seed = self.base_seed + i as u64;
+                let config = config.clone();
+                AnalysisJob::builder(format!("monkey/session_{i:03}"))
+                    .config(config.clone())
+                    .run(move || {
+                        let mut sys = if fork {
+                            WARM.with(|warm| {
+                                let mut warm = warm.borrow_mut();
+                                match warm.as_ref() {
+                                    Some((c, snap)) if *c == config => snap.fork(),
+                                    _ => {
+                                        let booted =
+                                            gated_leak_app().launch_with(config.clone());
+                                        let snap = booted.snapshot();
+                                        let sys = snap.fork();
+                                        *warm = Some((config.clone(), snap));
+                                        sys
+                                    }
+                                }
+                            })
+                        } else {
+                            gated_leak_app().launch_with(config)
+                        };
+                        let report =
+                            drive(&mut sys, "Lapp/Sync;", &GATED_ENTRIES, steps, seed);
+                        if report.errors > 0 {
+                            return Err(format!("{} invocations failed", report.errors));
+                        }
+                        Ok(report.report)
+                    })
+            })
+            .collect()
+    }
+}
+
+/// The three case-study gallery apps as farm jobs.
+#[deprecated(note = "use the `Gallery` JobSource")]
+pub fn gallery_jobs(config: &SystemConfig) -> Vec<AnalysisJob> {
+    Gallery.jobs(config)
+}
+
+/// The Table-I information-flow case apps as farm jobs.
+#[deprecated(note = "use the `Cases` JobSource")]
+pub fn case_jobs(config: &SystemConfig) -> Vec<AnalysisJob> {
+    Cases.jobs(config)
+}
+
+/// A pinned corpus shard as farm jobs.
+#[deprecated(note = "use the `CorpusShard { n, seed }` JobSource")]
+pub fn corpus_shard_jobs(config: &SystemConfig, n: usize, seed: u64) -> Vec<AnalysisJob> {
+    CorpusShard { n, seed }.jobs(config)
+}
+
+/// The adversarial corpus as farm jobs.
+#[deprecated(note = "use the `Adversarial` JobSource")]
+pub fn adversarial_jobs(config: &SystemConfig) -> Vec<AnalysisJob> {
+    Adversarial.jobs(config)
+}
+
+/// Fresh-boot monkey sessions as farm jobs.
+#[deprecated(note = "use the `Monkey::fresh(..)` JobSource")]
 pub fn monkey_jobs(
     config: &SystemConfig,
     sessions: usize,
     steps: usize,
     base_seed: u64,
 ) -> Vec<AnalysisJob> {
-    (0..sessions)
-        .map(|i| {
-            let seed = base_seed + i as u64;
-            let config = config.clone();
-            AnalysisJob::new(format!("monkey/session_{i:03}"), move || {
-                let mut sys = gated_leak_app().launch_with(config);
-                let report = drive(&mut sys, "Lapp/Sync;", &GATED_ENTRIES, steps, seed);
-                if report.errors > 0 {
-                    return Err(format!("{} invocations failed", report.errors));
-                }
-                Ok(report.report)
-            })
-        })
-        .collect()
+    Monkey::fresh(sessions, steps, base_seed).jobs(config)
 }
 
-/// Monkey-driver sessions over the gated-leak app, fanned out from a
-/// **copy-on-write snapshot** instead of re-booting per session: each
-/// worker thread boots and warms the app once per distinct `config`,
-/// captures an [`ndroid_core::Snapshot`], and every session on that
-/// worker then forks from the image (O(page-table), pages copied
-/// lazily on first write). Behaviorally identical to [`monkey_jobs`]
-/// — session `i` drives the same `steps` events from `base_seed + i`
-/// and produces an equal [`ndroid_core::RunReport`]; the
-/// `exp_snapshot` gate and the determinism tests pin that equality.
+/// Snapshot-forked monkey sessions as farm jobs.
+#[deprecated(note = "use the `Monkey::forked(..)` JobSource")]
 pub fn monkey_fork_jobs(
     config: &SystemConfig,
     sessions: usize,
     steps: usize,
     base_seed: u64,
 ) -> Vec<AnalysisJob> {
-    use ndroid_core::Snapshot;
-    use std::cell::RefCell;
-
-    // One warm image per worker thread per configuration. Snapshots
-    // hold `Rc`s and so cannot cross threads; jobs only carry the
-    // (Send) config and rebuild the image on whichever worker runs
-    // them first.
-    thread_local! {
-        static WARM: RefCell<Option<(SystemConfig, Snapshot)>> =
-            const { RefCell::new(None) };
-    }
-
-    (0..sessions)
-        .map(|i| {
-            let seed = base_seed + i as u64;
-            let config = config.clone();
-            AnalysisJob::new(format!("monkey/session_{i:03}"), move || {
-                let mut sys = WARM.with(|warm| {
-                    let mut warm = warm.borrow_mut();
-                    match warm.as_ref() {
-                        Some((c, snap)) if *c == config => snap.fork(),
-                        _ => {
-                            let booted =
-                                gated_leak_app().launch_with(config.clone());
-                            let snap = booted.snapshot();
-                            let sys = snap.fork();
-                            *warm = Some((config.clone(), snap));
-                            sys
-                        }
-                    }
-                });
-                let report = drive(&mut sys, "Lapp/Sync;", &GATED_ENTRIES, steps, seed);
-                if report.errors > 0 {
-                    return Err(format!("{} invocations failed", report.errors));
-                }
-                Ok(report.report)
-            })
-        })
-        .collect()
+    Monkey::forked(sessions, steps, base_seed).jobs(config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ndroid_core::batch::{run_batch, BatchConfig};
+    use ndroid_core::batch::{jobs_from, run_batch, BatchConfig};
     use ndroid_core::Mode;
 
     #[test]
     fn gallery_jobs_all_leak() {
-        let jobs = gallery_jobs(&SystemConfig::ndroid().quiet(true));
+        let jobs = Gallery.jobs(&SystemConfig::ndroid().quiet(true));
         let report = run_batch(jobs, BatchConfig::new(2));
         assert_eq!(report.completed(), 3);
         assert_eq!(report.leaking(), 3, "{}", report.render());
@@ -264,7 +378,7 @@ mod tests {
     fn corpus_shard_matches_ground_truth() {
         let cfg = SystemConfig::ndroid().quiet(true);
         let n = 8;
-        let jobs = corpus_shard_jobs(&cfg, n, 0xD514);
+        let jobs = CorpusShard { n, seed: 0xD514 }.jobs(&cfg);
         assert_eq!(jobs.len(), n);
 
         // Recompute the ground truth the same way the job list did.
@@ -291,7 +405,7 @@ mod tests {
 
     #[test]
     fn adversarial_jobs_score_perfectly() {
-        let jobs = adversarial_jobs(&SystemConfig::ndroid().quiet(true));
+        let jobs = Adversarial.jobs(&SystemConfig::ndroid().quiet(true));
         let report = run_batch(jobs, BatchConfig::new(4));
         let score =
             ndroid_core::score::score_batch(&report, crate::adversarial::expected_leak);
@@ -307,15 +421,15 @@ mod tests {
         // driven from per-worker CoW forks and from fresh boots must
         // produce byte-identical batch reports.
         let cfg = SystemConfig::ndroid().quiet(true);
-        let fresh = run_batch(monkey_jobs(&cfg, 4, 30, 11), BatchConfig::new(2));
-        let forked = run_batch(monkey_fork_jobs(&cfg, 4, 30, 11), BatchConfig::new(2));
+        let fresh = run_batch(Monkey::fresh(4, 30, 11).jobs(&cfg), BatchConfig::new(2));
+        let forked = run_batch(Monkey::forked(4, 30, 11).jobs(&cfg), BatchConfig::new(2));
         assert_eq!(forked, fresh);
         assert_eq!(forked.render(), fresh.render());
     }
 
     #[test]
     fn monkey_sessions_complete() {
-        let jobs = monkey_jobs(&SystemConfig::ndroid().quiet(true), 3, 40, 7);
+        let jobs = Monkey::fresh(3, 40, 7).jobs(&SystemConfig::ndroid().quiet(true));
         let report = run_batch(jobs, BatchConfig::new(2));
         assert_eq!(report.completed(), 3);
         assert_eq!(report.results[0].label, "monkey/session_000");
@@ -324,5 +438,25 @@ mod tests {
             let run = r.outcome.report().unwrap();
             assert_eq!(run.mode, Mode::NDroid);
         }
+    }
+
+    #[test]
+    fn sources_compose_and_wrappers_match() {
+        let cfg = SystemConfig::ndroid().quiet(true);
+        // jobs_from concatenates sources in order, labels intact.
+        let jobs = jobs_from(&[&Gallery, &Cases], &cfg);
+        assert_eq!(jobs.len(), 9);
+        assert_eq!(jobs[0].label, "gallery/qq_phonebook");
+        assert_eq!(jobs[3].label, "case/case1");
+        // Every job carries its config as metadata now.
+        assert!(jobs.iter().all(|j| j.config.as_ref() == Some(&cfg)));
+        // The deprecated wrappers delegate to the sources.
+        #[allow(deprecated)]
+        let legacy = gallery_jobs(&cfg);
+        let modern = Gallery.jobs(&cfg);
+        assert_eq!(
+            legacy.iter().map(|j| &j.label).collect::<Vec<_>>(),
+            modern.iter().map(|j| &j.label).collect::<Vec<_>>(),
+        );
     }
 }

@@ -3,8 +3,10 @@
 //! whether the farm runs 1, 2, or 8 workers. Replay a failing mix with
 //! `TESTKIT_SEED`.
 
-use ndroid_apps::farm;
-use ndroid_core::batch::{run_batch, AnalysisJob, BatchConfig, BatchReport, JobOutcome};
+use ndroid_apps::farm::{CorpusShard, Gallery, Monkey};
+use ndroid_core::batch::{
+    jobs_from, run_batch, AnalysisJob, BatchConfig, BatchReport, JobOutcome, JobSource,
+};
 use ndroid_core::{ProvenanceLevel, SystemConfig};
 use ndroid_testkit::prelude::*;
 
@@ -12,10 +14,14 @@ use ndroid_testkit::prelude::*;
 /// sessions, all parameterized by the generated values.
 fn job_mix(shard: usize, shard_seed: u64, sessions: usize, steps: usize) -> Vec<AnalysisJob> {
     let config = SystemConfig::ndroid().quiet(true);
-    let mut jobs = farm::gallery_jobs(&config);
-    jobs.extend(farm::corpus_shard_jobs(&config, shard, shard_seed));
-    jobs.extend(farm::monkey_jobs(&config, sessions, steps, shard_seed ^ 0x5EED));
-    jobs
+    jobs_from(
+        &[
+            &Gallery,
+            &CorpusShard { n: shard, seed: shard_seed },
+            &Monkey::fresh(sessions, steps, shard_seed ^ 0x5EED),
+        ],
+        &config,
+    )
 }
 
 proptest! {
@@ -46,7 +52,7 @@ proptest! {
 fn crashes_and_failures_merge_deterministically() {
     let mix = || {
         let config = SystemConfig::ndroid().quiet(true);
-        let mut jobs = farm::gallery_jobs(&config);
+        let mut jobs = Gallery.jobs(&config);
         jobs.insert(
             1,
             AnalysisJob::new("synthetic/crash", || panic!("deterministic boom")),
@@ -84,7 +90,7 @@ fn provenance_fingerprints_are_worker_count_invariant() {
         let config = SystemConfig::ndroid()
             .quiet(true)
             .provenance(ProvenanceLevel::Full);
-        farm::gallery_jobs(&config)
+        Gallery.jobs(&config)
     };
     let fingerprints = |r: &BatchReport| -> Vec<(String, u64, u64, usize)> {
         r.results

@@ -6,8 +6,8 @@
 //! taint-preserving cases alongside precision = 1.0.
 
 use ndroid_apps::adversarial::{corpus, expected_leak, CaseApp};
-use ndroid_apps::farm::adversarial_jobs;
-use ndroid_core::batch::{run_batch, BatchConfig};
+use ndroid_apps::farm::Adversarial;
+use ndroid_core::batch::{run_batch, BatchConfig, JobSource};
 use ndroid_core::score::score_batch;
 use ndroid_core::{AnalysisJob, SystemConfig};
 
@@ -60,7 +60,7 @@ fn negative_corpus_scores_precision_one() {
 #[test]
 fn full_corpus_scores_perfectly() {
     let batch = run_batch(
-        adversarial_jobs(&SystemConfig::ndroid().quiet(true)),
+        Adversarial.jobs(&SystemConfig::ndroid().quiet(true)),
         BatchConfig::new(4),
     );
     let score = score_batch(&batch, expected_leak);

@@ -13,8 +13,8 @@
 //! pure scoring pass over a pre-computed batch report.
 
 use ndroid_apps::adversarial::{self, expected_leak};
-use ndroid_apps::farm::adversarial_jobs;
-use ndroid_core::batch::{run_batch, BatchConfig};
+use ndroid_apps::farm::Adversarial;
+use ndroid_core::batch::{run_batch, BatchConfig, JobSource};
 use ndroid_core::{score_batch, SystemConfig};
 use ndroid_testkit::bench::{black_box, Suite};
 
@@ -39,12 +39,12 @@ fn main() {
 
     // The full corpus through the farm, exactly as the CI gate runs it.
     suite.bench("corpus/batch", || {
-        let batch = run_batch(adversarial_jobs(&config), BatchConfig::new(4));
+        let batch = run_batch(Adversarial.jobs(&config), BatchConfig::new(4));
         black_box(batch.results.len());
     });
 
     // Scoring isolated from the runs: re-score one pre-computed batch.
-    let batch = run_batch(adversarial_jobs(&config), BatchConfig::new(4));
+    let batch = run_batch(Adversarial.jobs(&config), BatchConfig::new(4));
     suite.bench("corpus/score", || {
         let score = score_batch(&batch, expected_leak);
         black_box(score.perfect());

@@ -10,8 +10,8 @@
 //! one CPU) all variants are necessarily within noise of each other —
 //! the recorded artifact is honest about the hardware it ran on.
 
-use ndroid_apps::farm;
-use ndroid_core::batch::{run_batch, AnalysisJob, BatchConfig};
+use ndroid_apps::farm::{self, CorpusShard, Gallery};
+use ndroid_core::batch::{jobs_from, run_batch, AnalysisJob, BatchConfig};
 use ndroid_core::SystemConfig;
 use ndroid_testkit::bench::{black_box, Suite};
 
@@ -22,9 +22,10 @@ const SHARD_SEED: u64 = 0xD514;
 
 fn jobs() -> Vec<AnalysisJob> {
     let config = SystemConfig::ndroid().quiet(true);
-    let mut jobs = farm::gallery_jobs(&config);
-    jobs.extend(farm::corpus_shard_jobs(&config, SHARD_SIZE, SHARD_SEED));
-    jobs
+    jobs_from(
+        &[&Gallery, &CorpusShard { n: SHARD_SIZE, seed: SHARD_SEED }],
+        &config,
+    )
 }
 
 fn main() {

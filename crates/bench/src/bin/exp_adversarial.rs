@@ -13,8 +13,8 @@
 //! tracer must reproduce the identical matrix and transcript).
 
 use ndroid_apps::adversarial::{corpus, expected_leak};
-use ndroid_apps::farm::adversarial_jobs;
-use ndroid_core::batch::{run_batch, BatchConfig};
+use ndroid_apps::farm::Adversarial;
+use ndroid_core::batch::{run_batch, BatchConfig, JobSource};
 use ndroid_core::{score_batch, ProvenanceLevel, SystemConfig};
 use ndroid_dvm::Taint;
 
@@ -63,7 +63,7 @@ fn main() {
     let blocks = !std::env::args().any(|a| a == "--no-blocks");
 
     let batch = run_batch(
-        adversarial_jobs(&SystemConfig::ndroid().quiet(true).blocks(blocks)),
+        Adversarial.jobs(&SystemConfig::ndroid().quiet(true).blocks(blocks)),
         BatchConfig::new(4),
     );
     let score = score_batch(&batch, expected_leak);

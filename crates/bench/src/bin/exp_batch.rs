@@ -6,8 +6,8 @@
 //! are byte-identical. Exits 1 on any divergence — this is the golden
 //! check `scripts/ci.sh` runs.
 
-use ndroid_apps::farm;
-use ndroid_core::batch::{run_batch, AnalysisJob, BatchConfig};
+use ndroid_apps::farm::{CorpusShard, Gallery};
+use ndroid_core::batch::{jobs_from, run_batch, AnalysisJob, BatchConfig};
 use ndroid_core::SystemConfig;
 
 const SHARD_SIZE: usize = 32;
@@ -24,9 +24,10 @@ fn arg_after(flag: &str, default: usize) -> usize {
 
 fn jobs() -> Vec<AnalysisJob> {
     let config = SystemConfig::ndroid().quiet(true);
-    let mut jobs = farm::gallery_jobs(&config);
-    jobs.extend(farm::corpus_shard_jobs(&config, SHARD_SIZE, SHARD_SEED));
-    jobs
+    jobs_from(
+        &[&Gallery, &CorpusShard { n: SHARD_SIZE, seed: SHARD_SEED }],
+        &config,
+    )
 }
 
 fn main() {

@@ -11,7 +11,9 @@
 //! the first NDroid trace events per case.
 
 use ndroid_apps::builder::App;
+use ndroid_apps::farm::Cases;
 use ndroid_apps::{all_case_apps, benign, farm};
+use ndroid_core::batch::JobSource;
 use ndroid_core::batch::{run_batch, BatchConfig};
 use ndroid_core::report::{collect_outcome, DetectionReport};
 use ndroid_core::{Mode, SystemConfig};
@@ -65,7 +67,7 @@ fn main() {
 
     for mode in modes {
         let config = SystemConfig::new(mode).quiet(true);
-        let mut jobs = farm::case_jobs(&config);
+        let mut jobs = Cases.jobs(&config);
         let benign_apps: [(&str, fn() -> App); 3] = [
             ("benign-game", benign::physics_game),
             ("benign-license", benign::audio_license_check),

@@ -9,7 +9,8 @@
 //! Type-I shard through NDroid on the farm (`--workers N`, default 1)
 //! and scores the verdicts against each sample's known ground truth.
 
-use ndroid_apps::farm;
+use ndroid_apps::farm::{self, CorpusShard};
+use ndroid_core::batch::JobSource;
 use ndroid_core::batch::{run_batch, BatchConfig};
 use ndroid_core::SystemConfig;
 use ndroid_corpus::{classify, generate, CorpusConfig, JniType};
@@ -80,7 +81,7 @@ fn main() {
          (seed {SHARD_SEED:#x}, {workers} worker(s)) =="
     );
     let sys_config = SystemConfig::ndroid().quiet(true);
-    let jobs = farm::corpus_shard_jobs(&sys_config, SHARD_SIZE, SHARD_SEED);
+    let jobs = CorpusShard { n: SHARD_SIZE, seed: SHARD_SEED }.jobs(&sys_config);
     let batch = run_batch(jobs, BatchConfig::new(workers));
     print!("{}", batch.render());
 

@@ -12,9 +12,9 @@
 //! unified `RunReport`.
 
 use ndroid_apps::driver::drive;
-use ndroid_apps::farm;
+use ndroid_apps::farm::Monkey;
 use ndroid_apps::qq_phonebook::qq_phonebook;
-use ndroid_core::batch::{run_batch, BatchConfig};
+use ndroid_core::batch::{run_batch, BatchConfig, JobSource};
 use ndroid_core::{Mode, SystemConfig};
 
 fn workers_arg() -> usize {
@@ -48,7 +48,7 @@ fn main() {
     let config = SystemConfig::ndroid().quiet(true);
     for steps in [1usize, 2, 5, 20, 100] {
         let trials = 50;
-        let jobs = farm::monkey_jobs(&config, trials, steps, 1);
+        let jobs = Monkey::fresh(trials, steps, 1).jobs(&config);
         let batch = run_batch(jobs, BatchConfig::new(workers));
         let found = batch.leaking();
         println!(

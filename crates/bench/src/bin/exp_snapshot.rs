@@ -7,8 +7,8 @@
 //! `BatchReport`s are byte-identical. Exits 1 on any divergence —
 //! this is the golden check `scripts/ci.sh` runs.
 
-use ndroid_apps::farm;
-use ndroid_core::batch::{run_batch, BatchConfig};
+use ndroid_apps::farm::Monkey;
+use ndroid_core::batch::{run_batch, BatchConfig, JobSource};
 use ndroid_core::SystemConfig;
 
 const STEPS: usize = 25;
@@ -32,11 +32,11 @@ fn main() {
     );
 
     let rebooted = run_batch(
-        farm::monkey_jobs(&config, sessions, STEPS, BASE_SEED),
+        Monkey::fresh(sessions, STEPS, BASE_SEED).jobs(&config),
         BatchConfig::new(workers),
     );
     let forked = run_batch(
-        farm::monkey_fork_jobs(&config, sessions, STEPS, BASE_SEED),
+        Monkey::forked(sessions, STEPS, BASE_SEED).jobs(&config),
         BatchConfig::new(workers),
     );
 

@@ -27,13 +27,17 @@ pub mod config;
 pub mod oracle;
 pub mod report;
 pub mod score;
+pub mod service;
 pub mod source_policy;
 pub mod system;
 pub mod tracer;
 
 pub use analysis::{NDroidAnalysis, ProtectionViolation};
 pub use baseline::{DroidScopeLikeAnalysis, TaintDroidAnalysis};
-pub use batch::{AnalysisJob, BatchConfig, BatchReport, JobOutcome, JobResult};
+pub use batch::{
+    jobs_from, run_batch, AnalysisJob, BatchConfig, BatchReport, JobBuilder, JobOutcome,
+    JobResult, JobSource, Lane,
+};
 pub use config::{EngineKind, SourcePolicyOverride, SystemConfig};
 pub use oracle::{
     check_oracle, diff_taint_state, ref_propagate, EngineRun, OracleProgram, OracleVerdict,
@@ -41,6 +45,9 @@ pub use oracle::{
 };
 pub use report::{CaseOutcome, DetectionReport, RunReport};
 pub use score::{score_batch, FamilyScore, ScoreCard, ScoreReport};
+pub use service::{
+    AnalysisService, JobTicket, ServiceConfig, ServiceResult, SubmitError,
+};
 pub use ndroid_provenance::{
     FlowGraph, Handle as ProvHandle, LeakPath, Level as ProvenanceLevel, ProvEvent,
     ProvenanceSummary,

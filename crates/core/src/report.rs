@@ -1,11 +1,58 @@
-//! Run results ([`RunReport`]) and detection reporting for the
-//! case-matrix experiments (Table I / Fig. 3 of the paper).
+//! Run results ([`RunReport`]), per-job outcome types shared by the
+//! batch farm and the resident service ([`JobOutcome`], [`JobResult`]),
+//! and detection reporting for the case-matrix experiments (Table I /
+//! Fig. 3 of the paper).
 
 use crate::analysis::{AnalysisStats, ProtectionViolation};
 use crate::config::EngineKind;
 use crate::system::Mode;
 use ndroid_dvm::{LeakEvent, SinkContext, Taint};
 use ndroid_provenance::ProvenanceSummary;
+
+/// What happened to one job, whether it ran through the offline farm
+/// ([`crate::batch::run_batch`]) or the resident service
+/// ([`crate::service::AnalysisService`]). Both modes classify outcomes
+/// through the same code path, so a given job produces the identical
+/// variant either way — the bedrock of the drain-vs-batch byte-identity
+/// contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The job ran to completion.
+    Completed(RunReport),
+    /// The job returned an error (other than budget exhaustion, which
+    /// classifies as [`JobOutcome::Deadline`]).
+    Failed(String),
+    /// The job panicked; the payload's message, if it was a string.
+    /// The worker survived and kept draining the queue.
+    Crashed(String),
+    /// The job exceeded its budget or deadline: either the guest
+    /// instruction budget ([`crate::SystemConfig::budget`]) ran out
+    /// mid-run — deterministic, so batch and service modes agree — or
+    /// the service's wall-clock deadline expired before the job was
+    /// dequeued (service mode only; see
+    /// [`crate::batch::JobBuilder::deadline`]).
+    Deadline(String),
+}
+
+impl JobOutcome {
+    /// The report, if the job completed.
+    pub fn report(&self) -> Option<&RunReport> {
+        match self {
+            JobOutcome::Completed(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// One merged row of a [`crate::BatchReport`]: the job's label and
+/// outcome, in submission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResult {
+    /// The job's label as submitted.
+    pub label: String,
+    /// What happened.
+    pub outcome: JobOutcome,
+}
 
 /// Everything externally observable about one finished analysis run,
 /// snapshotted by [`crate::NDroidSystem::report`]. This is the one

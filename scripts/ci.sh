@@ -81,6 +81,15 @@ cargo run -q --release --offline -p ndroid-bench --bin exp_adversarial
 # stepper must reproduce the identical score matrix and transcript.
 cargo run -q --release --offline -p ndroid-bench --bin exp_adversarial -- --no-blocks
 
+stage "resident service: drained report must match the offline merge"
+# Boots the AnalysisService at 4 workers, submits the pinned corpus
+# shard on the bulk lane and the gallery + adversarial corpus on the
+# interactive lane while workers run, and exits non-zero unless the
+# drained BatchReport (and its rendering) is byte-identical to the
+# offline run_batch merge over the same jobs in submission order. Also
+# smoke-checks the streaming path (every ticket answered exactly once).
+cargo run -q --release --offline -p ndroid-bench --bin exp_service -- --workers 4
+
 stage "snapshot fan-out: 1000 forked sessions must match 1000 fresh boots"
 # Fans 1000 monkey schedules over the gated-leak app twice — re-booting
 # per session vs forking every session from one warmed copy-on-write
@@ -94,7 +103,7 @@ stage "bench smoke pass (TESTKIT_BENCH_SMOKE=1)"
 BENCH_DIR="$(mktemp -d)"
 TESTKIT_BENCH_SMOKE=1 TESTKIT_BENCH_DIR="$BENCH_DIR" \
   cargo bench -q --offline -p ndroid-bench
-for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json BENCH_oracle.json BENCH_batch.json BENCH_provenance.json BENCH_adversarial.json BENCH_blocks.json BENCH_snapshot.json; do
+for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json BENCH_oracle.json BENCH_batch.json BENCH_provenance.json BENCH_adversarial.json BENCH_blocks.json BENCH_snapshot.json BENCH_service.json; do
   if [ ! -s "$BENCH_DIR/$f" ]; then
     echo "error: bench smoke did not produce $f" >&2
     exit 1
