@@ -14,9 +14,9 @@
 //! Feed a source to the offline farm with
 //! [`ndroid_core::batch::jobs_from`] + [`ndroid_core::batch::run_batch`],
 //! or stream it through a live service with
-//! [`ndroid_core::AnalysisService::submit_source`]. The legacy
-//! free-function entry points (`gallery_jobs` & co.) survive one
-//! release as `#[deprecated]` wrappers over the sources.
+//! [`ndroid_core::AnalysisService::submit_source`]. (The legacy
+//! free-function entry points — `gallery_jobs` & co. — survived one
+//! release as `#[deprecated]` wrappers and are gone.)
 
 use crate::builder::App;
 use crate::driver::{drive, gated_leak_app, GATED_ENTRIES};
@@ -314,52 +314,6 @@ impl JobSource for Monkey {
     }
 }
 
-/// The three case-study gallery apps as farm jobs.
-#[deprecated(note = "use the `Gallery` JobSource")]
-pub fn gallery_jobs(config: &SystemConfig) -> Vec<AnalysisJob> {
-    Gallery.jobs(config)
-}
-
-/// The Table-I information-flow case apps as farm jobs.
-#[deprecated(note = "use the `Cases` JobSource")]
-pub fn case_jobs(config: &SystemConfig) -> Vec<AnalysisJob> {
-    Cases.jobs(config)
-}
-
-/// A pinned corpus shard as farm jobs.
-#[deprecated(note = "use the `CorpusShard { n, seed }` JobSource")]
-pub fn corpus_shard_jobs(config: &SystemConfig, n: usize, seed: u64) -> Vec<AnalysisJob> {
-    CorpusShard { n, seed }.jobs(config)
-}
-
-/// The adversarial corpus as farm jobs.
-#[deprecated(note = "use the `Adversarial` JobSource")]
-pub fn adversarial_jobs(config: &SystemConfig) -> Vec<AnalysisJob> {
-    Adversarial.jobs(config)
-}
-
-/// Fresh-boot monkey sessions as farm jobs.
-#[deprecated(note = "use the `Monkey::fresh(..)` JobSource")]
-pub fn monkey_jobs(
-    config: &SystemConfig,
-    sessions: usize,
-    steps: usize,
-    base_seed: u64,
-) -> Vec<AnalysisJob> {
-    Monkey::fresh(sessions, steps, base_seed).jobs(config)
-}
-
-/// Snapshot-forked monkey sessions as farm jobs.
-#[deprecated(note = "use the `Monkey::forked(..)` JobSource")]
-pub fn monkey_fork_jobs(
-    config: &SystemConfig,
-    sessions: usize,
-    steps: usize,
-    base_seed: u64,
-) -> Vec<AnalysisJob> {
-    Monkey::forked(sessions, steps, base_seed).jobs(config)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,7 +395,7 @@ mod tests {
     }
 
     #[test]
-    fn sources_compose_and_wrappers_match() {
+    fn sources_compose() {
         let cfg = SystemConfig::ndroid().quiet(true);
         // jobs_from concatenates sources in order, labels intact.
         let jobs = jobs_from(&[&Gallery, &Cases], &cfg);
@@ -450,13 +404,5 @@ mod tests {
         assert_eq!(jobs[3].label, "case/case1");
         // Every job carries its config as metadata now.
         assert!(jobs.iter().all(|j| j.config.as_ref() == Some(&cfg)));
-        // The deprecated wrappers delegate to the sources.
-        #[allow(deprecated)]
-        let legacy = gallery_jobs(&cfg);
-        let modern = Gallery.jobs(&cfg);
-        assert_eq!(
-            legacy.iter().map(|j| &j.label).collect::<Vec<_>>(),
-            modern.iter().map(|j| &j.label).collect::<Vec<_>>(),
-        );
     }
 }

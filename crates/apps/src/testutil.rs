@@ -47,6 +47,26 @@ pub fn run_prov(
         .expect("app runs")
 }
 
+/// Builds and runs an app with the tiered provenance store enabled at
+/// the given hot-ring capacity — small capacities force segment
+/// sealing on the short gallery streams.
+pub fn run_store(
+    build: impl Fn() -> App,
+    engine: EngineKind,
+    level: ProvenanceLevel,
+    capacity: usize,
+) -> NDroidSystem {
+    build()
+        .run_with(
+            SystemConfig::ndroid()
+                .engine(engine)
+                .provenance(level)
+                .provenance_store(true)
+                .provenance_capacity(capacity),
+        )
+        .expect("app runs")
+}
+
 /// Runs the three tracer configurations — the optimized engine with
 /// superblock dispatch (the default), the optimized engine stepping
 /// per instruction (`blocks(false)`), and the reference engine —

@@ -7,7 +7,7 @@ use ndroid_apps::farm::{CorpusShard, Gallery, Monkey};
 use ndroid_core::batch::{
     jobs_from, run_batch, AnalysisJob, BatchConfig, BatchReport, JobOutcome, JobSource,
 };
-use ndroid_core::{ProvenanceLevel, SystemConfig};
+use ndroid_core::{EventKind, ProvQuery, ProvenanceLevel, SystemConfig};
 use ndroid_testkit::prelude::*;
 
 /// One deterministic job mix: gallery apps, a corpus shard, and monkey
@@ -41,6 +41,60 @@ proptest! {
         prop_assert_eq!(&one, &eight);
         prop_assert_eq!(one.render(), eight.render());
         prop_assert_eq!(one.results.len(), 3 + shard + sessions);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The cross-run query satellite: with the tiered store on,
+    /// `BatchReport::query` over a 2- or 8-worker merge is
+    /// byte-identical (structurally and in its rendering) to the same
+    /// query over the sequential 1-worker merge — per-label,
+    /// sink-kind, and seq-range filters alike. The frozen stores ride
+    /// `RunReport` across worker threads, so this also pins that the
+    /// sealing itself is schedule-free.
+    #[test]
+    fn prov_queries_are_worker_count_invariant(
+        shard in 4usize..8,
+        shard_seed in any::<u64>(),
+        cap in 2usize..6,
+        bits in 1u32..0x800,
+    ) {
+        let jobs = || {
+            let config = SystemConfig::ndroid()
+                .quiet(true)
+                .provenance(ProvenanceLevel::Full)
+                .provenance_store(true)
+                .provenance_capacity(cap);
+            jobs_from(&[&Gallery, &CorpusShard { n: shard, seed: shard_seed }], &config)
+        };
+        let one = run_batch(jobs(), BatchConfig::new(1));
+        let two = run_batch(jobs(), BatchConfig::new(2));
+        let eight = run_batch(jobs(), BatchConfig::new(8));
+        let queries = [
+            ProvQuery::new().label(bits),
+            ProvQuery::new().kind(EventKind::Sink),
+            ProvQuery::new().kind(EventKind::Source).seq_range(0, 4),
+            ProvQuery::new().sink("send"),
+        ];
+        for q in &queries {
+            let sequential = one.query(q);
+            prop_assert_eq!(&sequential, &two.query(q));
+            prop_assert_eq!(&sequential, &eight.query(q));
+            prop_assert_eq!(sequential.render(), eight.query(q).render());
+            // Hits are merged by submission order, sequence within.
+            prop_assert!(sequential
+                .hits
+                .windows(2)
+                .all(|w| (w[0].job, w[0].seq) < (w[1].job, w[1].seq)));
+        }
+        // Every completed job carried a frozen store to query.
+        prop_assert!(one
+            .results
+            .iter()
+            .filter_map(|r| r.outcome.report())
+            .all(|rep| rep.provenance_store.is_some()));
     }
 }
 

@@ -5,8 +5,8 @@
 //! the event stream) and at both recording levels.
 
 use ndroid_apps::qq_phonebook;
-use ndroid_apps::testutil::{assert_paths_cover_pinned_leaks, run_prov as run, GALLERY};
-use ndroid_core::{EngineKind, ProvEvent, ProvenanceLevel};
+use ndroid_apps::testutil::{assert_paths_cover_pinned_leaks, run_prov as run, run_store, GALLERY};
+use ndroid_core::{EngineKind, FlowGraph, ProvEvent, ProvenanceLevel};
 
 #[test]
 fn gallery_leak_paths_reconstruct_under_full() {
@@ -86,6 +86,73 @@ fn off_level_records_nothing_and_reports_none() {
         let report = sys.report();
         assert!(report.provenance.is_none(), "{name}: Off reports no summary");
         assert!(report.leaked(), "{name}: detection itself is unaffected");
+    }
+}
+
+/// The tiered store is invisible to every golden — same events, same
+/// fingerprint, same leak paths, nothing dropped — while the sealed
+/// segments' kind masks let the leak-path accounting decode fewer than
+/// half of them (the segment-skip acceptance gate).
+#[test]
+fn tiered_store_preserves_goldens_and_skips_segments() {
+    for (name, build) in GALLERY {
+        let flat = run(build, EngineKind::Optimized, ProvenanceLevel::Full);
+        let sys = run_store(build, EngineKind::Optimized, ProvenanceLevel::Full, 4);
+        assert_eq!(sys.prov_events(), flat.prov_events(), "{name}: stream unchanged");
+        let report = sys.report();
+        let summary = report.provenance.expect("tiered run carries a summary");
+        let baseline = flat.report().provenance.expect("flat run carries a summary");
+        assert_eq!(summary.fingerprint, baseline.fingerprint, "{name}");
+        assert_eq!(summary.leak_paths, baseline.leak_paths, "{name}");
+        assert_eq!(summary.dropped, 0, "{name}: tiered mode never drops");
+        assert!(summary.segments >= 3, "{name}: capacity 4 forces sealing");
+        assert!(
+            summary.segments_decoded * 2 < summary.segments,
+            "{name}: leak-path accounting decoded {}/{} segments",
+            summary.segments_decoded,
+            summary.segments,
+        );
+
+        // The frozen store in the report reproduces the stream exactly
+        // and supports label-filtered reconstruction that skips
+        // non-intersecting segments.
+        let store = report
+            .provenance_store
+            .as_ref()
+            .expect("tiered run snapshots its store");
+        assert_eq!(store.events_vec(), flat.prov_events(), "{name}");
+        let sink_label = sys
+            .prov_events()
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                ProvEvent::Sink { label, .. } => Some(*label),
+                _ => None,
+            })
+            .expect("gallery apps always sink");
+        let (labeled, stats) = FlowGraph::build_label(store, sink_label);
+        assert_eq!(stats.decoded + stats.skipped, stats.segments, "{name}");
+        assert!(labeled.total_leak_paths() > 0, "{name}: paths survive filtering");
+        let sink = *labeled.sinks().last().expect("sink in filtered graph");
+        for path in &labeled.leak_paths(sink) {
+            let rendered = labeled.render_path(path);
+            assert!(rendered.contains("source "), "{name}: {rendered}");
+            assert!(rendered.contains("sink "), "{name}: {rendered}");
+        }
+    }
+}
+
+/// Flat (non-tiered) runs keep reports lean: no store snapshot rides
+/// along, and the tier counters stay zero.
+#[test]
+fn flat_runs_report_no_store_and_zero_segments() {
+    for (name, build) in GALLERY {
+        let sys = run(build, EngineKind::Optimized, ProvenanceLevel::Full);
+        let report = sys.report();
+        assert!(report.provenance_store.is_none(), "{name}");
+        let summary = report.provenance.expect("summary");
+        assert_eq!(summary.segments, 0, "{name}: flat mode never seals");
+        assert_eq!(summary.segments_decoded, 0, "{name}");
     }
 }
 

@@ -13,7 +13,7 @@
 //! the upper bound.
 
 use ndroid_apps::App;
-use ndroid_core::{ProvenanceLevel, SystemConfig};
+use ndroid_core::{ProvEvent, ProvHandle, ProvQuery, ProvenanceLevel, SystemConfig};
 use ndroid_testkit::bench::{black_box, Suite};
 
 const GALLERY: [fn() -> App; 3] = [
@@ -61,5 +61,62 @@ fn main() {
         black_box(graph.total_leak_paths());
         black_box(graph.fingerprint());
     });
+
+    // Tiered-store costs, isolated: a realistic 4096-event stream
+    // (the three gallery streams concatenated and cycled, so string
+    // interning sees real name reuse) sealed into 1024-event segments.
+    let stream: Vec<ProvEvent> = {
+        let mut all = Vec::new();
+        for build in GALLERY {
+            let sys = build()
+                .run_with(
+                    SystemConfig::ndroid()
+                        .quiet(true)
+                        .provenance(ProvenanceLevel::Full),
+                )
+                .expect("gallery app runs");
+            all.extend(sys.prov_events());
+        }
+        all.iter().cycle().take(4096).cloned().collect()
+    };
+    suite.bench("store/seal", || {
+        let h = ProvHandle::tiered(ProvenanceLevel::Full, 1024);
+        for ev in &stream {
+            h.emit(ev.clone());
+        }
+        h.seal_segment();
+        black_box(h.segments());
+    });
+    let seal_median_ns = suite.results().last().expect("just benched").median_ns;
+
+    let handle = ProvHandle::tiered(ProvenanceLevel::Full, 1024);
+    for ev in &stream {
+        handle.emit(ev.clone());
+    }
+    handle.seal_segment();
+    let frozen = handle.store_snapshot().expect("tiered run has a store");
+    suite.bench("store/decode", || {
+        black_box(frozen.events_vec());
+    });
+    suite.bench("store/query_label", || {
+        black_box(ProvQuery::new().label(0x202).run(&frozen));
+    });
+
+    // The gate's derived scalars: wire bytes per sealed event (must
+    // stay at or under 40% of the in-memory ProvEvent size) and seal
+    // throughput implied by the measured median.
+    let sealed: usize = frozen.segments().iter().map(|s| s.len()).sum();
+    let bytes_per_event = frozen.encoded_size() as f64 / sealed as f64;
+    let bound = 0.4 * std::mem::size_of::<ProvEvent>() as f64;
+    assert!(
+        bytes_per_event <= bound,
+        "sealed encoding too fat: {bytes_per_event:.1} bytes/event (bound {bound:.1})"
+    );
+    suite.metric("bytes_per_event", bytes_per_event, "bytes");
+    suite.metric(
+        "events_per_sec",
+        stream.len() as f64 * 1e9 / seal_median_ns,
+        "events/s",
+    );
     suite.finish();
 }

@@ -44,6 +44,7 @@ use std::time::Duration;
 use crate::config::SystemConfig;
 use crate::report::RunReport;
 pub use crate::report::{JobOutcome, JobResult};
+use ndroid_provenance::{ProvEvent, ProvQuery, QueryStats};
 
 /// The priority lane a job rides in the resident service's queue.
 /// Offline `run_batch` ignores lanes (every job in the list runs);
@@ -339,6 +340,79 @@ impl BatchReport {
         ));
         out
     }
+
+    /// Runs a provenance query across every completed job that carries
+    /// a frozen store, merging per-job hits **by submission order**
+    /// (the job index is part of every hit, sequence numbers stay
+    /// per-run). Because the `BatchReport` itself is schedule-free,
+    /// the merged result — and its rendering — is byte-identical at
+    /// any worker count; jobs without a store (flat-ring or `Off`
+    /// runs, failures) contribute nothing.
+    pub fn query(&self, query: &ProvQuery) -> BatchQueryResult {
+        let mut hits = Vec::new();
+        let mut stats = QueryStats::default();
+        for (job, r) in self.results.iter().enumerate() {
+            let Some(store) = r.outcome.report().and_then(|rep| rep.provenance_store.as_ref())
+            else {
+                continue;
+            };
+            let result = query.run(store);
+            stats = stats.merged(result.stats);
+            hits.extend(result.hits.into_iter().map(|hit| BatchQueryHit {
+                job,
+                label: r.label.clone(),
+                seq: hit.seq,
+                event: hit.event,
+            }));
+        }
+        BatchQueryResult { hits, stats }
+    }
+}
+
+/// One query hit from a batch-wide query: which job (submission
+/// index + label) and where in that run's stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchQueryHit {
+    /// Submission index of the job within the batch.
+    pub job: usize,
+    /// The job's label as submitted.
+    pub label: String,
+    /// Sequence number within that job's recorded stream.
+    pub seq: u64,
+    /// The matching event.
+    pub event: ProvEvent,
+}
+
+/// The merged hits and aggregated segment accounting of one
+/// [`BatchReport::query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchQueryResult {
+    /// Hits in (submission order, sequence) order.
+    pub hits: Vec<BatchQueryHit>,
+    /// Segment skip/decode accounting summed across jobs.
+    pub stats: QueryStats,
+}
+
+impl BatchQueryResult {
+    /// Deterministic rendering — one `<label> seq N: <canonical>` line
+    /// per hit plus the aggregated stats footer; the byte-identity
+    /// witness for the cross-run query gates.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for hit in &self.hits {
+            out.push_str(&format!(
+                "{} seq {}: {}\n",
+                hit.label,
+                hit.seq,
+                hit.event.canonical()
+            ));
+        }
+        out.push_str(&format!(
+            "-- segments {} decoded {} skipped {}\n",
+            self.stats.segments, self.stats.decoded, self.stats.skipped
+        ));
+        out
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -560,6 +634,7 @@ mod tests {
             native_insns: insns,
             bytecodes: 0,
             provenance: None,
+            provenance_store: None,
         }
     }
 

@@ -35,8 +35,8 @@ pub mod tracer;
 pub use analysis::{NDroidAnalysis, ProtectionViolation};
 pub use baseline::{DroidScopeLikeAnalysis, TaintDroidAnalysis};
 pub use batch::{
-    jobs_from, run_batch, AnalysisJob, BatchConfig, BatchReport, JobBuilder, JobOutcome,
-    JobResult, JobSource, Lane,
+    jobs_from, run_batch, AnalysisJob, BatchConfig, BatchQueryHit, BatchQueryResult, BatchReport,
+    JobBuilder, JobOutcome, JobResult, JobSource, Lane,
 };
 pub use config::{EngineKind, SourcePolicyOverride, SystemConfig};
 pub use oracle::{
@@ -49,8 +49,8 @@ pub use service::{
     AnalysisService, JobTicket, ServiceConfig, ServiceResult, SubmitError,
 };
 pub use ndroid_provenance::{
-    FlowGraph, Handle as ProvHandle, LeakPath, Level as ProvenanceLevel, ProvEvent,
-    ProvenanceSummary,
+    EventKind, FlowGraph, Handle as ProvHandle, LeakPath, Level as ProvenanceLevel, ProvEvent,
+    ProvQuery, ProvStore, ProvenanceSummary, QueryHit, QueryResult, QueryStats, SealedSegment,
 };
 pub use source_policy::SourcePolicy;
 pub use system::{Mode, NDroidSystem, Snapshot};

@@ -7,7 +7,7 @@ use crate::analysis::{AnalysisStats, ProtectionViolation};
 use crate::config::EngineKind;
 use crate::system::Mode;
 use ndroid_dvm::{LeakEvent, SinkContext, Taint};
-use ndroid_provenance::ProvenanceSummary;
+use ndroid_provenance::{ProvStore, ProvenanceSummary};
 
 /// What happened to one job, whether it ran through the offline farm
 /// ([`crate::batch::run_batch`]) or the resident service
@@ -82,6 +82,14 @@ pub struct RunReport {
     /// Digest of the recorded taint provenance (`None` when the run's
     /// [`ndroid_provenance::Level`] was `Off`).
     pub provenance: Option<ProvenanceSummary>,
+    /// The frozen tiered provenance store — the full (lossless) event
+    /// trail behind [`ndroid_provenance::ProvQuery`] and
+    /// `BatchReport::query`. `None` unless the run was configured with
+    /// [`crate::SystemConfig::provenance_store`], so flat-ring runs
+    /// keep their report exactly as lean as before. Sealed segments
+    /// are refcount-shared: carrying this across worker threads is a
+    /// pointer copy per segment, not a re-encode.
+    pub provenance_store: Option<ProvStore>,
 }
 
 impl RunReport {

@@ -234,6 +234,7 @@ mod tests {
             native_insns: 0,
             bytecodes: 0,
             provenance: None,
+            provenance_store: None,
         }
     }
 

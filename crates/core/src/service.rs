@@ -577,6 +577,7 @@ mod tests {
             native_insns: insns,
             bytecodes: 0,
             provenance: None,
+            provenance_store: None,
         }
     }
 

@@ -184,7 +184,11 @@ impl NDroidSystem {
         cpu.regs[13] = layout::NATIVE_STACK_TOP;
         let mut dvm = Dvm::new(program);
         dvm.taint_tracking = mode != Mode::Vanilla;
-        let prov = Handle::new(config.provenance);
+        let prov = if config.provenance_store {
+            Handle::tiered(config.provenance, config.provenance_capacity)
+        } else {
+            Handle::with_capacity(config.provenance, config.provenance_capacity)
+        };
         dvm.prov = prov.clone();
         let analysis = analysis_for(&config, &mut dvm);
         let mut table = HostTable::new();
@@ -430,6 +434,7 @@ impl NDroidSystem {
             native_insns: self.native_insns(),
             bytecodes: self.bytecodes(),
             provenance: self.prov.summary(),
+            provenance_store: self.prov.store_snapshot(),
         }
     }
 

@@ -30,6 +30,13 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+mod query;
+mod store;
+pub mod varint;
+
+pub use query::{ProvQuery, QueryHit, QueryResult, QueryStats};
+pub use store::{EventKind, ProvStore, SealedSegment, Store};
+
 /// How much provenance is recorded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Level {
@@ -296,10 +303,56 @@ impl Ring {
     }
 
     /// Events currently held, oldest first (sealed base, then the
-    /// private tail).
-    pub fn events(&self) -> impl Iterator<Item = &ProvEvent> {
+    /// private tail). The iterator is exact-size, so consumers (the
+    /// tiered [`Store`]'s segment sealer in particular) can
+    /// pre-reserve without a counting pass or a `snapshot()` Vec.
+    pub fn events(&self) -> RingIter<'_> {
         let base = self.base.as_deref().unwrap_or(&[]);
-        base[self.base_skip..].iter().chain(self.buf.iter())
+        RingIter {
+            base: base[self.base_skip..].iter(),
+            tail: self.buf.iter(),
+        }
+    }
+
+    /// Sequence number (index into the full recorded stream, starting
+    /// at 0) of the oldest held event; equals [`Ring::recorded`] when
+    /// nothing is held. Well-defined because eviction is strictly
+    /// oldest-first: the held events are always the most recent
+    /// `len()` of the stream.
+    pub fn first_seq(&self) -> u64 {
+        self.recorded - self.len() as u64
+    }
+
+    /// Held events whose sequence number is `>= seq`, oldest first —
+    /// incremental drain without the Vec allocation of a snapshot.
+    /// A `seq` older than the oldest held event yields everything
+    /// still held; a `seq` past the newest yields nothing.
+    pub fn iter_from(&self, seq: u64) -> RingIter<'_> {
+        let mut skip = usize::try_from(seq.saturating_sub(self.first_seq())).unwrap_or(usize::MAX);
+        let base = self.base.as_deref().unwrap_or(&[]);
+        let live = &base[self.base_skip..];
+        let in_base = skip.min(live.len());
+        skip -= in_base;
+        let mut tail = self.buf.iter();
+        let in_tail = skip.min(self.buf.len());
+        if in_tail > 0 {
+            tail.nth(in_tail - 1);
+        }
+        RingIter {
+            base: live[in_base..].iter(),
+            tail,
+        }
+    }
+
+    /// Drops every held event while leaving `recorded`/`dropped`
+    /// untouched, for the tiered [`Store`]: the events were just
+    /// *moved* into a sealed segment, not lost, so the drop counter
+    /// must not move and sequence numbers must keep advancing from
+    /// `recorded`.
+    pub(crate) fn clear_held(&mut self) {
+        self.base = None;
+        self.base_skip = 0;
+        self.buf.clear();
     }
 
     /// Number of events currently held.
@@ -328,36 +381,76 @@ impl Ring {
     }
 }
 
+/// Exact-size iterator over a [`Ring`]'s held events, oldest first —
+/// the sealed base slice followed by the private tail. Hand-rolled
+/// because `std::iter::Chain` forfeits `ExactSizeIterator`.
+#[derive(Debug, Clone)]
+pub struct RingIter<'a> {
+    base: std::slice::Iter<'a, ProvEvent>,
+    tail: std::collections::vec_deque::Iter<'a, ProvEvent>,
+}
+
+impl<'a> Iterator for RingIter<'a> {
+    type Item = &'a ProvEvent;
+
+    fn next(&mut self) -> Option<&'a ProvEvent> {
+        self.base.next().or_else(|| self.tail.next())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.base.len() + self.tail.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RingIter<'_> {}
+
 /// A shared, cheaply clonable recorder handle. The [`Level`] lives
 /// *outside* the cell, so the `Off` check on the hot path is a plain
 /// field read of `None` — no borrow, no allocation, no branch into
 /// recording code.
 ///
-/// Clones share the same ring: the DVM, the shadow state and the
-/// kernel each hold one, producing a single globally ordered event
-/// stream per analyzed system. Interior mutability is a single-owner
-/// `RefCell` (each analyzed system is single-threaded; the batch farm
-/// builds one system per job inside its worker).
+/// Clones share the same backing [`Store`]: the DVM, the shadow state
+/// and the kernel each hold one, producing a single globally ordered
+/// event stream per analyzed system. The store is either **flat** (the
+/// legacy bounded ring, dropping oldest on overflow) or **tiered**
+/// (hot ring + sealed compressed segments, lossless — see [`Store`]);
+/// every emitter goes through the same [`Handle::emit`] seam either
+/// way. Interior mutability is a single-owner `RefCell` (each analyzed
+/// system is single-threaded; the batch farm builds one system per job
+/// inside its worker).
 #[derive(Debug, Clone, Default)]
 pub struct Handle {
     level: Level,
-    ring: Option<Rc<RefCell<Ring>>>,
+    store: Option<Rc<RefCell<Store>>>,
 }
 
 impl Handle {
     /// A recorder at `level` with the default ring capacity
-    /// ([`DEFAULT_CAPACITY`]); `Off` carries no ring at all.
+    /// ([`DEFAULT_CAPACITY`]); `Off` carries no store at all.
     pub fn new(level: Level) -> Handle {
         Handle::with_capacity(level, DEFAULT_CAPACITY)
     }
 
-    /// A recorder at `level` with an explicit ring capacity.
+    /// A flat (ring-only, legacy) recorder at `level` with an explicit
+    /// ring capacity.
     pub fn with_capacity(level: Level, cap: usize) -> Handle {
-        let ring = match level {
+        Handle::from_store(level, Store::new(cap))
+    }
+
+    /// A tiered recorder at `level`: hot ring of `cap` events, sealed
+    /// segments beyond. Never drops (a zero `cap` degrades to the flat
+    /// drop-everything behavior, never a panic).
+    pub fn tiered(level: Level, cap: usize) -> Handle {
+        Handle::from_store(level, Store::tiered(cap))
+    }
+
+    fn from_store(level: Level, store: Store) -> Handle {
+        let store = match level {
             Level::Off => None,
-            _ => Some(Rc::new(RefCell::new(Ring::new(cap)))),
+            _ => Some(Rc::new(RefCell::new(store))),
         };
-        Handle { level, ring }
+        Handle { level, store }
     }
 
     /// The recording level.
@@ -369,7 +462,7 @@ impl Handle {
     /// Whether anything is recorded at all.
     #[inline]
     pub fn is_on(&self) -> bool {
-        self.ring.is_some()
+        self.store.is_some()
     }
 
     /// Whether native basic-block summaries are recorded.
@@ -378,51 +471,85 @@ impl Handle {
         self.level == Level::Full
     }
 
+    /// Whether the backing store is tiered (lossless sealed segments).
+    pub fn is_tiered(&self) -> bool {
+        self.store.as_ref().is_some_and(|s| s.borrow().is_tiered())
+    }
+
     /// Records an event (no-op when `Off`).
     #[inline]
     pub fn emit(&self, ev: ProvEvent) {
-        if let Some(ring) = &self.ring {
-            ring.borrow_mut().push(ev);
+        if let Some(store) = &self.store {
+            store.borrow_mut().push(ev);
         }
     }
 
-    /// A snapshot of the held events, oldest first.
+    /// Seals the hot tier's current events into an immutable segment
+    /// (no-op when `Off`, on an empty hot tier, or on a flat store —
+    /// sealing a flat store would silently unbound its memory).
+    pub fn seal_segment(&self) {
+        if let Some(store) = &self.store {
+            let mut s = store.borrow_mut();
+            if s.is_tiered() {
+                s.seal_segment();
+            }
+        }
+    }
+
+    /// A snapshot of the held events, oldest first (sealed segments
+    /// decoded, then the hot tier).
     pub fn snapshot(&self) -> Vec<ProvEvent> {
-        match &self.ring {
-            Some(ring) => ring.borrow().events().cloned().collect(),
+        match &self.store {
+            Some(store) => store.borrow().events_vec(),
             None => Vec::new(),
         }
     }
 
-    /// Total events offered to the ring.
+    /// Total events offered to the store.
     pub fn recorded(&self) -> u64 {
-        self.ring.as_ref().map_or(0, |r| r.borrow().recorded())
+        self.store.as_ref().map_or(0, |s| s.borrow().recorded())
     }
 
-    /// Events dropped by the ring (exact).
+    /// Events dropped by the store (exact; always 0 for a tiered store
+    /// with nonzero hot capacity).
     pub fn dropped(&self) -> u64 {
-        self.ring.as_ref().map_or(0, |r| r.borrow().dropped())
+        self.store.as_ref().map_or(0, |s| s.borrow().dropped())
+    }
+
+    /// Number of sealed segments currently held.
+    pub fn segments(&self) -> usize {
+        self.store.as_ref().map_or(0, |s| s.borrow().segments().len())
+    }
+
+    /// A frozen, thread-safe view of the store for `RunReport`
+    /// plumbing and the query layer — `None` unless the store is
+    /// tiered (flat runs keep reports lean, exactly as before this
+    /// subsystem existed). Sealed segments are shared by refcount;
+    /// only the hot tail is copied.
+    pub fn store_snapshot(&self) -> Option<ProvStore> {
+        let store = self.store.as_ref()?;
+        let s = store.borrow();
+        if !s.is_tiered() {
+            return None;
+        }
+        Some(s.freeze())
     }
 
     /// An **independent** recorder continuing from this one's exact
-    /// current contents and counters, for snapshot forks: the held
-    /// events are sealed into an `Rc`-shared immutable base
-    /// ([`Ring::seal`] — O(len) once, then every further fork from the
-    /// same state is O(1)) and the new handle gets its own ring over
-    /// that base, so parent and fork diverge without copying history.
-    /// `Off` handles fork to `Off` handles at zero cost.
+    /// current contents and counters, for snapshot forks: the hot
+    /// tier's held events are sealed into an `Rc`-shared immutable
+    /// base ([`Ring::seal`] — O(len) once, then every further fork
+    /// from the same state is O(1)) and sealed segments are shared by
+    /// refcount bump, so parent and fork diverge without copying
+    /// history. `Off` handles fork to `Off` handles at zero cost.
     pub fn fork(&self) -> Handle {
-        let ring = self.ring.as_ref().map(|ring| {
-            let forked = {
-                let mut r = ring.borrow_mut();
-                r.seal();
-                r.clone()
-            };
+        let store = self.store.as_ref().map(|store| {
+            let forked = store.borrow_mut().fork();
             Rc::new(RefCell::new(forked))
         });
         Handle {
             level: self.level,
-            ring,
+            store,
         }
     }
 }
@@ -632,14 +759,25 @@ fn escape(s: &str) -> String {
 pub struct ProvenanceSummary {
     /// The recording level the run used.
     pub level: Level,
-    /// Total events offered to the ring.
+    /// Total events offered to the store.
     pub recorded: u64,
-    /// Events the ring evicted (exact).
+    /// Events the store evicted (exact; 0 for a tiered store with
+    /// nonzero hot capacity).
     pub dropped: u64,
     /// [`FlowGraph::fingerprint`] over the held events.
     pub fingerprint: u64,
     /// [`FlowGraph::total_leak_paths`].
     pub leak_paths: usize,
+    /// Sealed segments the store held when digested (0 for a flat
+    /// store).
+    pub segments: u32,
+    /// Sealed segments the leak-path accounting actually decoded: the
+    /// count is sink-kind-guided (`leak_paths` is exactly one path per
+    /// set bit of every sink's label, so only segments whose
+    /// [`SealedSegment::kind_mask`] contains a sink are opened). The
+    /// fingerprint, whole-stream by definition, is computed separately
+    /// and not counted here.
+    pub segments_decoded: u32,
 }
 
 impl Handle {
@@ -648,18 +786,24 @@ impl Handle {
         FlowGraph::build(&self.snapshot())
     }
 
-    /// Digests the current state (`None` when `Off`).
+    /// Digests the current state (`None` when `Off`). The leak-path
+    /// count comes from the store's sink-guided accounting (decoding
+    /// only sink-bearing segments — `segments_decoded` records how
+    /// many); it is provably equal to
+    /// [`FlowGraph::total_leak_paths`] over the full stream, which the
+    /// property suite pins.
     pub fn summary(&self) -> Option<ProvenanceSummary> {
-        if !self.is_on() {
-            return None;
-        }
+        let store = self.store.as_ref()?;
         let graph = self.flow_graph();
+        let (leak_paths, segments_decoded) = store.borrow().count_leak_paths();
         Some(ProvenanceSummary {
             level: self.level,
             recorded: self.recorded(),
             dropped: self.dropped(),
             fingerprint: graph.fingerprint(),
-            leak_paths: graph.total_leak_paths(),
+            leak_paths,
+            segments: self.segments() as u32,
+            segments_decoded,
         })
     }
 }

@@ -1,0 +1,590 @@
+//! The tiered provenance store: a hot [`Ring`] in front of immutable,
+//! delta/varint-compressed **sealed segments**.
+//!
+//! The PR 5 ring is bounded and lossy by design — fine for one app,
+//! wrong at fleet scale where the evidence trail *is* the product
+//! (μDep-style taint-killing variants are distinguished only by the
+//! recorded transform chain). The tiered store keeps the ring as the
+//! hot tier and, instead of evicting on overflow, compacts the ring's
+//! contents into a [`SealedSegment`]: a per-segment interned string
+//! table plus a tag/varint byte stream (monotonic pc deltas for
+//! native-block runs, single-byte labels for the common few-bit
+//! masks), roughly 3–10 bytes per event against the ~56-byte in-memory
+//! [`ProvEvent`].
+//!
+//! Each segment's header carries its **label-bit union**, a **kind
+//! mask** (one bit per [`EventKind`]) and a **bloom-style name
+//! filter** over source APIs and sink names, so reconstruction and
+//! [`crate::ProvQuery`] skip irrelevant segments without decoding
+//! them. The filters are conservative: they may admit a segment that
+//! turns out to hold no match (bloom false positive — extra decode
+//! work), but they never skip a segment holding a relevant event.
+//!
+//! Segments are `Arc`-shared: snapshot forks clone the segment list by
+//! refcount bump (the PR 8 sealed-base trick, one tier up), and the
+//! frozen [`ProvStore`] view is `Send + Sync` so it can ride on
+//! `RunReport` across the batch farm's worker threads.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::varint;
+use crate::{Direction, ProvEvent, Ring, SinkCtx};
+
+/// The seven event shapes, as bits of a segment's
+/// [`SealedSegment::kind_mask`] and as query filters
+/// ([`crate::ProvQuery::kind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// [`ProvEvent::Source`]
+    Source = 0,
+    /// [`ProvEvent::JniEntry`]
+    JniEntry = 1,
+    /// [`ProvEvent::JniExit`]
+    JniExit = 2,
+    /// [`ProvEvent::Transfer`]
+    Transfer = 3,
+    /// [`ProvEvent::Libc`]
+    Libc = 4,
+    /// [`ProvEvent::NativeBlock`]
+    NativeBlock = 5,
+    /// [`ProvEvent::Sink`]
+    Sink = 6,
+}
+
+impl EventKind {
+    /// Every kind, in tag order.
+    pub const ALL: [EventKind; 7] = [
+        EventKind::Source,
+        EventKind::JniEntry,
+        EventKind::JniExit,
+        EventKind::Transfer,
+        EventKind::Libc,
+        EventKind::NativeBlock,
+        EventKind::Sink,
+    ];
+
+    /// The kind of an event.
+    pub fn of(ev: &ProvEvent) -> EventKind {
+        match ev {
+            ProvEvent::Source { .. } => EventKind::Source,
+            ProvEvent::JniEntry { .. } => EventKind::JniEntry,
+            ProvEvent::JniExit { .. } => EventKind::JniExit,
+            ProvEvent::Transfer { .. } => EventKind::Transfer,
+            ProvEvent::Libc { .. } => EventKind::Libc,
+            ProvEvent::NativeBlock { .. } => EventKind::NativeBlock,
+            ProvEvent::Sink { .. } => EventKind::Sink,
+        }
+    }
+
+    /// This kind's bit in a [`SealedSegment::kind_mask`].
+    pub fn bit(self) -> u8 {
+        1 << (self as u8)
+    }
+
+    fn from_tag(tag: u8) -> Option<EventKind> {
+        EventKind::ALL.get(tag as usize).copied()
+    }
+
+    /// Lowercase tag, matching the [`ProvEvent::canonical`] prefix.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Source => "source",
+            EventKind::JniEntry => "jni-entry",
+            EventKind::JniExit => "jni-exit",
+            EventKind::Transfer => "transfer",
+            EventKind::Libc => "libc",
+            EventKind::NativeBlock => "native-block",
+            EventKind::Sink => "sink",
+        }
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Two bloom bits for a source/sink name in a 64-bit filter word.
+fn bloom_mask(name: &str) -> u64 {
+    let h = fnv64(name.as_bytes());
+    (1 << (h & 63)) | (1 << ((h >> 6) & 63))
+}
+
+/// Direction/context flag bit in an encoded event's tag byte.
+const TAG_FLAG: u8 = 0x08;
+
+/// An immutable, compressed run of consecutive provenance events.
+///
+/// Layout: a header (sequence range, label union, kind mask, name
+/// bloom), a per-segment string table interned in first-use order, and
+/// the event byte stream — per event a tag byte (3-bit kind + flag),
+/// a varint label, then kind-specific varint string-table indices; a
+/// `NativeBlock` stores its pc as a zigzag delta against the previous
+/// block in the segment. Encoding is a pure function of the event
+/// stream, so identical streams seal to byte-identical segments on any
+/// worker (`Eq` below is what the batch determinism gates compare).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedSegment {
+    first_seq: u64,
+    count: u32,
+    label_union: u32,
+    kind_mask: u8,
+    name_bloom: u64,
+    strings: Vec<String>,
+    bytes: Vec<u8>,
+}
+
+impl SealedSegment {
+    /// Seals `events` (whose first element has sequence number
+    /// `first_seq`) into a segment.
+    pub fn encode<'a>(first_seq: u64, events: impl Iterator<Item = &'a ProvEvent>) -> SealedSegment {
+        let mut seg = SealedSegment {
+            first_seq,
+            count: 0,
+            label_union: 0,
+            kind_mask: 0,
+            name_bloom: 0,
+            strings: Vec::new(),
+            bytes: Vec::new(),
+        };
+        let mut intern: HashMap<&'a str, u64> = HashMap::new();
+        let mut prev_pc = 0u32;
+        for ev in events {
+            let kind = EventKind::of(ev);
+            let flag = match ev {
+                ProvEvent::Transfer {
+                    direction: Direction::NativeToJava,
+                    ..
+                } => TAG_FLAG,
+                ProvEvent::Sink {
+                    ctx: SinkCtx::Native,
+                    ..
+                } => TAG_FLAG,
+                _ => 0,
+            };
+            seg.bytes.push(kind as u8 | flag);
+            varint::write_u64(&mut seg.bytes, u64::from(ev.label()));
+            let mut idx = |s: &'a str, table: &mut Vec<String>, bytes: &mut Vec<u8>| {
+                let next = intern.len() as u64;
+                let i = *intern.entry(s).or_insert_with(|| {
+                    table.push(s.to_string());
+                    next
+                });
+                varint::write_u64(bytes, i);
+            };
+            match ev {
+                ProvEvent::Source { api, .. } => {
+                    seg.name_bloom |= bloom_mask(api);
+                    idx(api, &mut seg.strings, &mut seg.bytes);
+                }
+                ProvEvent::JniEntry { method, .. } | ProvEvent::JniExit { method, .. } => {
+                    idx(method, &mut seg.strings, &mut seg.bytes);
+                }
+                ProvEvent::Transfer { api, .. } => {
+                    idx(api, &mut seg.strings, &mut seg.bytes);
+                }
+                ProvEvent::Libc { func, .. } => {
+                    idx(func, &mut seg.strings, &mut seg.bytes);
+                }
+                ProvEvent::NativeBlock { start_pc, insns, .. } => {
+                    varint::write_i64(&mut seg.bytes, i64::from(*start_pc) - i64::from(prev_pc));
+                    prev_pc = *start_pc;
+                    varint::write_u64(&mut seg.bytes, u64::from(*insns));
+                }
+                ProvEvent::Sink { sink, dest, .. } => {
+                    seg.name_bloom |= bloom_mask(sink);
+                    idx(sink, &mut seg.strings, &mut seg.bytes);
+                    idx(dest, &mut seg.strings, &mut seg.bytes);
+                }
+            }
+            seg.label_union |= ev.label();
+            seg.kind_mask |= kind.bit();
+            seg.count += 1;
+        }
+        seg
+    }
+
+    /// Decodes the full event stream back out, appending to `out`.
+    /// Round-trip is exact: `decode` of an `encode` reproduces the
+    /// input events byte-for-byte (pinned by the property suite).
+    /// Panics on a corrupt byte stream — segments only ever come from
+    /// [`SealedSegment::encode`], so corruption is a program bug, not
+    /// an input condition.
+    pub fn decode_into(&self, out: &mut Vec<ProvEvent>) {
+        const CORRUPT: &str = "corrupt sealed segment";
+        out.reserve(self.count as usize);
+        let mut pos = 0usize;
+        let mut prev_pc = 0u32;
+        let string = |i: u64| -> String { self.strings[usize::try_from(i).expect(CORRUPT)].clone() };
+        for _ in 0..self.count {
+            let tag = *self.bytes.get(pos).expect(CORRUPT);
+            pos += 1;
+            let kind = EventKind::from_tag(tag & 0x07).expect(CORRUPT);
+            let flag = tag & TAG_FLAG != 0;
+            let label =
+                u32::try_from(varint::read_u64(&self.bytes, &mut pos).expect(CORRUPT)).expect(CORRUPT);
+            let read_str = |pos: &mut usize| -> String {
+                string(varint::read_u64(&self.bytes, pos).expect(CORRUPT))
+            };
+            let ev = match kind {
+                EventKind::Source => ProvEvent::Source {
+                    label,
+                    api: read_str(&mut pos),
+                },
+                EventKind::JniEntry => ProvEvent::JniEntry {
+                    method: read_str(&mut pos),
+                    label,
+                },
+                EventKind::JniExit => ProvEvent::JniExit {
+                    method: read_str(&mut pos),
+                    label,
+                },
+                EventKind::Transfer => ProvEvent::Transfer {
+                    api: read_str(&mut pos),
+                    label,
+                    direction: if flag {
+                        Direction::NativeToJava
+                    } else {
+                        Direction::JavaToNative
+                    },
+                },
+                EventKind::Libc => ProvEvent::Libc {
+                    func: read_str(&mut pos),
+                    label,
+                },
+                EventKind::NativeBlock => {
+                    let delta = varint::read_i64(&self.bytes, &mut pos).expect(CORRUPT);
+                    let start_pc =
+                        u32::try_from(i64::from(prev_pc) + delta).expect(CORRUPT);
+                    prev_pc = start_pc;
+                    let insns = u32::try_from(varint::read_u64(&self.bytes, &mut pos).expect(CORRUPT))
+                        .expect(CORRUPT);
+                    ProvEvent::NativeBlock {
+                        start_pc,
+                        insns,
+                        label,
+                    }
+                }
+                EventKind::Sink => {
+                    let sink = read_str(&mut pos);
+                    let dest = read_str(&mut pos);
+                    ProvEvent::Sink {
+                        sink,
+                        dest,
+                        label,
+                        ctx: if flag { SinkCtx::Native } else { SinkCtx::Java },
+                    }
+                }
+            };
+            out.push(ev);
+        }
+        assert_eq!(pos, self.bytes.len(), "{CORRUPT}: trailing bytes");
+    }
+
+    /// The decoded event stream as a fresh Vec.
+    pub fn decode(&self) -> Vec<ProvEvent> {
+        let mut out = Vec::new();
+        self.decode_into(&mut out);
+        out
+    }
+
+    /// Sequence number of the segment's first event.
+    pub fn first_seq(&self) -> u64 {
+        self.first_seq
+    }
+
+    /// Number of events in the segment.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether the segment holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sequence number one past the segment's last event.
+    pub fn end_seq(&self) -> u64 {
+        self.first_seq + u64::from(self.count)
+    }
+
+    /// Union of every held event's label bits. A query for label bits
+    /// disjoint from this union can skip the segment exactly (no
+    /// false positives here — this filter is precise).
+    pub fn label_union(&self) -> u32 {
+        self.label_union
+    }
+
+    /// One bit per [`EventKind`] present (precise, like the label
+    /// union).
+    pub fn kind_mask(&self) -> u8 {
+        self.kind_mask
+    }
+
+    /// Bloom filter over source API and sink names (2 bits each in a
+    /// 64-bit word). [`SealedSegment::may_contain_name`] may return
+    /// true for an absent name (extra decode), never false for a
+    /// present one (missed evidence).
+    pub fn name_bloom(&self) -> u64 {
+        self.name_bloom
+    }
+
+    /// Conservative membership test against the name bloom.
+    pub fn may_contain_name(&self, name: &str) -> bool {
+        let m = bloom_mask(name);
+        self.name_bloom & m == m
+    }
+
+    /// Encoded size in bytes: header + string table + event stream.
+    /// This is the numerator of the `bytes_per_event` metric in
+    /// `BENCH_provenance.json`.
+    pub fn encoded_size(&self) -> usize {
+        // Header: first_seq + count + label_union + kind_mask + bloom.
+        let header = 8 + 4 + 4 + 1 + 8;
+        let table: usize = self.strings.iter().map(|s| s.len() + 1).sum();
+        header + table + self.bytes.len()
+    }
+}
+
+/// The tiered (or flat) backend behind [`crate::Handle`].
+///
+/// **Flat** (`Store::new`): exactly the legacy bounded ring — overflow
+/// evicts oldest and counts the drop. **Tiered** (`Store::tiered`):
+/// when the hot ring is about to overflow (or on an explicit
+/// [`Store::seal_segment`]), its contents are compacted into a
+/// [`SealedSegment`] instead and the ring is emptied — nothing is ever
+/// dropped, and sequence numbers keep running through both tiers.
+#[derive(Debug, Clone, Default)]
+pub struct Store {
+    hot: Ring,
+    tiered: bool,
+    segments: Vec<Arc<SealedSegment>>,
+    /// Events held across all sealed segments (sum of their counts).
+    sealed_len: u64,
+}
+
+impl Store {
+    /// A flat store: the legacy bounded ring, nothing more.
+    pub fn new(cap: usize) -> Store {
+        Store {
+            hot: Ring::new(cap),
+            tiered: false,
+            segments: Vec::new(),
+            sealed_len: 0,
+        }
+    }
+
+    /// A tiered store with a hot ring of `cap` events. A zero `cap`
+    /// degrades to the flat drop-everything ring behavior (an empty
+    /// hot tier can never be sealed), never a panic.
+    pub fn tiered(cap: usize) -> Store {
+        Store {
+            hot: Ring::new(cap),
+            tiered: true,
+            segments: Vec::new(),
+            sealed_len: 0,
+        }
+    }
+
+    /// Whether overflow seals (tiered) rather than drops (flat).
+    pub fn is_tiered(&self) -> bool {
+        self.tiered
+    }
+
+    /// Appends an event. Tiered: seals the hot tier first when it is
+    /// full, so the push itself never evicts. Flat: the legacy
+    /// evict-oldest-and-count behavior.
+    pub fn push(&mut self, ev: ProvEvent) {
+        if self.tiered && self.hot.capacity() > 0 && self.hot.len() >= self.hot.capacity() {
+            self.seal_segment();
+        }
+        self.hot.push(ev);
+    }
+
+    /// Compacts the hot tier's current events into a sealed segment
+    /// (no-op when the hot tier is empty). Counters and sequence
+    /// numbers are unaffected: the events move tiers, they are not
+    /// dropped.
+    pub fn seal_segment(&mut self) {
+        if self.hot.is_empty() {
+            return;
+        }
+        let seg = SealedSegment::encode(self.hot.first_seq(), self.hot.events());
+        self.sealed_len += u64::from(seg.count);
+        self.segments.push(Arc::new(seg));
+        self.hot.clear_held();
+    }
+
+    /// The sealed segments, oldest first.
+    pub fn segments(&self) -> &[Arc<SealedSegment>] {
+        &self.segments
+    }
+
+    /// The hot tier.
+    pub fn hot(&self) -> &Ring {
+        &self.hot
+    }
+
+    /// Events currently held across both tiers.
+    pub fn len(&self) -> usize {
+        self.sealed_len as usize + self.hot.len()
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events offered (held + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.hot.recorded()
+    }
+
+    /// Events dropped — exact; always 0 for a tiered store with
+    /// nonzero hot capacity.
+    pub fn dropped(&self) -> u64 {
+        self.hot.dropped()
+    }
+
+    /// The full held event stream, oldest first: sealed segments
+    /// decoded in order, then the hot tier.
+    pub fn events_vec(&self) -> Vec<ProvEvent> {
+        let mut out = Vec::with_capacity(self.len());
+        for seg in &self.segments {
+            seg.decode_into(&mut out);
+        }
+        out.extend(self.hot.events().cloned());
+        out
+    }
+
+    /// Leak-path count with sink-guided segment skipping. The flow
+    /// graph yields exactly one leak path per set bit of every sink
+    /// event's label, so the count needs only the sink events: decode
+    /// only segments whose kind mask contains [`EventKind::Sink`] and
+    /// scan the hot tier. Returns `(count, segments_decoded)`.
+    pub fn count_leak_paths(&self) -> (usize, u32) {
+        let mut count = 0usize;
+        let mut decoded = 0u32;
+        let mut scratch = Vec::new();
+        for seg in &self.segments {
+            if seg.kind_mask() & EventKind::Sink.bit() == 0 {
+                continue;
+            }
+            decoded += 1;
+            scratch.clear();
+            seg.decode_into(&mut scratch);
+            for ev in &scratch {
+                if ev.is_sink() {
+                    count += ev.label().count_ones() as usize;
+                }
+            }
+        }
+        for ev in self.hot.events() {
+            if ev.is_sink() {
+                count += ev.label().count_ones() as usize;
+            }
+        }
+        (count, decoded)
+    }
+
+    /// An independent store continuing from this one's exact contents
+    /// and counters: sealed segments are shared by refcount bump, the
+    /// hot ring is sealed ([`Ring::seal`]) so the fork shares its
+    /// prefix copy-on-write.
+    pub fn fork(&mut self) -> Store {
+        self.hot.seal();
+        Store {
+            hot: self.hot.clone(),
+            tiered: self.tiered,
+            segments: self.segments.clone(),
+            sealed_len: self.sealed_len,
+        }
+    }
+
+    /// A frozen, thread-safe ([`Send`] + [`Sync`]) view: sealed
+    /// segments shared by refcount, the hot tier copied once into an
+    /// immutable tail. Repeated freezes of an unchanged store are
+    /// equal ([`ProvStore`] is `Eq`).
+    pub fn freeze(&self) -> ProvStore {
+        let tail: Vec<ProvEvent> = self.hot.events().cloned().collect();
+        ProvStore {
+            segments: self.segments.clone(),
+            tail: Arc::from(tail),
+            tail_first_seq: self.hot.first_seq(),
+            recorded: self.hot.recorded(),
+            dropped: self.hot.dropped(),
+        }
+    }
+}
+
+/// A frozen provenance store: the `Send + Sync` view that rides on
+/// `RunReport` across worker threads and feeds [`crate::ProvQuery`] /
+/// `BatchReport` merging. Cloning bumps refcounts; equality compares
+/// segment and tail *contents*, so reports stay byte-comparable across
+/// worker counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvStore {
+    segments: Vec<Arc<SealedSegment>>,
+    tail: Arc<[ProvEvent]>,
+    tail_first_seq: u64,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl ProvStore {
+    /// The sealed segments, oldest first.
+    pub fn segments(&self) -> &[Arc<SealedSegment>] {
+        &self.segments
+    }
+
+    /// The hot-tier events frozen at snapshot time, oldest first.
+    pub fn tail(&self) -> &[ProvEvent] {
+        &self.tail
+    }
+
+    /// Sequence number of the first tail event.
+    pub fn tail_first_seq(&self) -> u64 {
+        self.tail_first_seq
+    }
+
+    /// Events held (sealed + tail).
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|s| s.len()).sum::<usize>() + self.tail.len()
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events offered to the live store at freeze time.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events the live store had dropped at freeze time (exact).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The full held event stream, oldest first.
+    pub fn events_vec(&self) -> Vec<ProvEvent> {
+        let mut out = Vec::with_capacity(self.len());
+        for seg in &self.segments {
+            seg.decode_into(&mut out);
+        }
+        out.extend(self.tail.iter().cloned());
+        out
+    }
+
+    /// Total encoded bytes across sealed segments (see
+    /// [`SealedSegment::encoded_size`]).
+    pub fn encoded_size(&self) -> usize {
+        self.segments.iter().map(|s| s.encoded_size()).sum()
+    }
+}

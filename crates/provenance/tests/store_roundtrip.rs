@@ -1,0 +1,275 @@
+//! Tiered-store round-trip properties: for any generated event stream
+//! the seal→decode cycle must reproduce the exact `ProvEvent`s and the
+//! exact FNV flow-graph fingerprint the flat ring would have produced
+//! (nothing dropped), the varint encoding must stay under the
+//! compression bound the bench gate enforces, and the query layer must
+//! agree with a naive scan. Failures replay with `TESTKIT_SEED`.
+
+use ndroid_provenance::{
+    Direction, FlowGraph, Handle, Level, ProvEvent, ProvQuery, Ring, SinkCtx, Store,
+};
+use ndroid_testkit::prelude::*;
+
+const APIS: [&str; 4] = [
+    "ContactsProvider.query",
+    "SmsProvider.query",
+    "TelephonyManager.getDeviceId",
+    "LocationManager.getLastKnownLocation",
+];
+const METHODS: [&str; 3] = [
+    "Lcom/app/Jni;.pack",
+    "Lcom/app/Jni;.encode",
+    "Lcom/qq/Jni;.makeLoginRequestPackageMd5",
+];
+const FUNCS: [&str; 4] = ["strcpy", "memcpy", "sprintf", "strdup"];
+const SINKS: [&str; 3] = ["send", "write", "HttpClient.post"];
+const DESTS: [&str; 3] = ["evil.com", "/data/leak.txt", "sync.3g.qq.com"];
+
+/// Deterministically maps a generated `(selector, label, aux)` triple
+/// to one of the seven event shapes, drawing names from small pools so
+/// segment string-interning sees realistic reuse.
+fn event(sel: u8, label: u32, aux: u32) -> ProvEvent {
+    let a = aux as usize;
+    match sel % 7 {
+        0 => ProvEvent::Source {
+            label,
+            api: APIS[a % APIS.len()].into(),
+        },
+        1 => ProvEvent::JniEntry {
+            method: METHODS[a % METHODS.len()].into(),
+            label,
+        },
+        2 => ProvEvent::JniExit {
+            method: METHODS[a % METHODS.len()].into(),
+            label,
+        },
+        3 => ProvEvent::Transfer {
+            api: if a % 2 == 0 {
+                "GetStringUTFChars".into()
+            } else {
+                "NewStringUTF".into()
+            },
+            label,
+            direction: if a % 2 == 0 {
+                Direction::JavaToNative
+            } else {
+                Direction::NativeToJava
+            },
+        },
+        4 => ProvEvent::Libc {
+            func: FUNCS[a % FUNCS.len()].into(),
+            label,
+        },
+        5 => ProvEvent::NativeBlock {
+            start_pc: 0x8000_0000u32.wrapping_add(aux.wrapping_mul(4) & 0xf_fffc),
+            insns: 1 + aux % 61,
+            label,
+        },
+        _ => ProvEvent::Sink {
+            sink: SINKS[a % SINKS.len()].into(),
+            dest: DESTS[(a / 3) % DESTS.len()].into(),
+            label,
+            ctx: if a % 2 == 0 { SinkCtx::Java } else { SinkCtx::Native },
+        },
+    }
+}
+
+fn stream(raw: &[(u8, u32, u32)]) -> Vec<ProvEvent> {
+    raw.iter().map(|&(s, l, a)| event(s, l, a)).collect()
+}
+
+proptest! {
+    /// The acceptance property: seal→decode reproduces the exact
+    /// event stream, nothing is ever dropped, and the graph
+    /// fingerprint equals the flat ring's for the same events — so
+    /// every existing fingerprint gate is invariant under the tiered
+    /// backend.
+    #[test]
+    fn seal_decode_reproduces_stream_and_fingerprint(
+        hot_cap in 1usize..48,
+        raw in collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 0..256),
+    ) {
+        let events = stream(&raw);
+        let tiered = Handle::tiered(Level::Full, hot_cap);
+        let flat = Handle::with_capacity(Level::Full, events.len().max(1));
+        for ev in &events {
+            tiered.emit(ev.clone());
+            flat.emit(ev.clone());
+        }
+        prop_assert_eq!(tiered.dropped(), 0u64, "tiered never drops");
+        prop_assert_eq!(tiered.recorded(), events.len() as u64);
+        prop_assert_eq!(tiered.snapshot(), events.clone());
+        prop_assert_eq!(
+            FlowGraph::build(&tiered.snapshot()).fingerprint(),
+            FlowGraph::build(&flat.snapshot()).fingerprint()
+        );
+        // The summary digests match across backends except for the
+        // tier counters, and the sink-guided leak-path count equals
+        // the graph walk.
+        let ts = tiered.summary().expect("on");
+        let fs = flat.summary().expect("on");
+        prop_assert_eq!(ts.fingerprint, fs.fingerprint);
+        prop_assert_eq!(ts.leak_paths, fs.leak_paths);
+        prop_assert_eq!(
+            ts.leak_paths,
+            FlowGraph::build(&events).total_leak_paths()
+        );
+        prop_assert!(ts.segments_decoded <= ts.segments);
+    }
+
+    /// Sealing is deterministic: the same stream through two tiered
+    /// stores produces byte-identical segments (`SealedSegment` is
+    /// `Eq` over contents), the invariant the worker-count gates rest
+    /// on. The frozen view inherits it.
+    #[test]
+    fn sealing_is_a_pure_function_of_the_stream(
+        hot_cap in 1usize..16,
+        raw in collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 0..96),
+    ) {
+        let events = stream(&raw);
+        let mut a = Store::tiered(hot_cap);
+        let mut b = Store::tiered(hot_cap);
+        for ev in &events {
+            a.push(ev.clone());
+            b.push(ev.clone());
+        }
+        prop_assert_eq!(a.segments(), b.segments());
+        prop_assert_eq!(a.freeze(), b.freeze());
+        // Freezing is non-destructive and idempotent.
+        prop_assert_eq!(a.freeze(), a.freeze());
+        prop_assert_eq!(a.events_vec(), events);
+    }
+
+    /// The compression bound behind the BENCH_provenance gate: with
+    /// realistically reused names and non-trivial segments, sealed
+    /// events take at most 40% of the in-memory `ProvEvent` size.
+    #[test]
+    fn encoded_size_is_under_the_compression_bound(
+        raw in collection::vec((any::<u8>(), 0u32..0x1000, any::<u32>()), 192..512),
+    ) {
+        let events = stream(&raw);
+        let mut store = Store::tiered(64);
+        for ev in &events {
+            store.push(ev.clone());
+        }
+        store.seal_segment();
+        let frozen = store.freeze();
+        let encoded = frozen.encoded_size();
+        let sealed_events: usize = frozen.segments().iter().map(|s| s.len()).sum();
+        prop_assert_eq!(sealed_events, events.len());
+        let in_memory = sealed_events * std::mem::size_of::<ProvEvent>();
+        prop_assert!(
+            encoded * 10 <= in_memory * 4,
+            "encoded {} bytes for {} events (in-memory {})",
+            encoded, sealed_events, in_memory
+        );
+    }
+
+    /// Query-layer agreement: a label query over the frozen store
+    /// returns exactly the events a naive scan selects, in order, with
+    /// correct sequence numbers — regardless of how the stream was cut
+    /// into segments.
+    #[test]
+    fn label_query_agrees_with_naive_scan(
+        hot_cap in 1usize..24,
+        bits in 1u32..0x20,
+        raw in collection::vec((any::<u8>(), 0u32..0x40, any::<u32>()), 0..128),
+    ) {
+        let events = stream(&raw);
+        let mut store = Store::tiered(hot_cap);
+        for ev in &events {
+            store.push(ev.clone());
+        }
+        let frozen = store.freeze();
+        let result = ProvQuery::new().label(bits).run(&frozen);
+        let naive: Vec<(u64, ProvEvent)> = events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.label() & bits != 0)
+            .map(|(i, e)| (i as u64, e.clone()))
+            .collect();
+        let got: Vec<(u64, ProvEvent)> =
+            result.hits.into_iter().map(|h| (h.seq, h.event)).collect();
+        prop_assert_eq!(got, naive);
+        prop_assert_eq!(
+            result.stats.decoded + result.stats.skipped,
+            result.stats.segments
+        );
+    }
+
+    /// Ring iterator contracts: `events()` is exact-size through
+    /// seal/evict cycles, and `iter_from(seq)` yields exactly the held
+    /// suffix from `seq` on.
+    #[test]
+    fn ring_iterators_are_exact(
+        cap in 1usize..24,
+        seal_at in any::<u8>(),
+        raw in collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 0..96),
+    ) {
+        let events = stream(&raw);
+        let mut ring = Ring::new(cap);
+        for (i, ev) in events.iter().enumerate() {
+            ring.push(ev.clone());
+            if i == seal_at as usize {
+                ring.seal();
+            }
+        }
+        let it = ring.events();
+        prop_assert_eq!(it.len(), ring.len());
+        let held: Vec<ProvEvent> = it.cloned().collect();
+        prop_assert_eq!(held.len(), ring.len());
+
+        let first = ring.first_seq();
+        prop_assert_eq!(first, events.len() as u64 - ring.len() as u64);
+        for seq in [0, first, first + ring.len() as u64 / 2, events.len() as u64 + 3] {
+            let suffix: Vec<ProvEvent> = ring.iter_from(seq).cloned().collect();
+            let skip = (seq.saturating_sub(first) as usize).min(held.len());
+            prop_assert_eq!(ring.iter_from(seq).len(), held.len() - skip);
+            prop_assert_eq!(suffix, held[skip..].to_vec());
+        }
+    }
+
+    /// A zero-capacity tiered store degrades to the flat
+    /// drop-everything behavior: nothing panics, nothing seals,
+    /// counters stay exact.
+    #[test]
+    fn zero_capacity_tiered_store_never_panics(
+        raw in collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 0..32),
+    ) {
+        let events = stream(&raw);
+        let h = Handle::tiered(Level::Summary, 0);
+        for ev in &events {
+            h.emit(ev.clone());
+        }
+        prop_assert_eq!(h.recorded(), events.len() as u64);
+        prop_assert_eq!(h.dropped(), events.len() as u64);
+        prop_assert_eq!(h.segments(), 0usize);
+        prop_assert!(h.snapshot().is_empty());
+    }
+
+    /// Fork continuity under the tiered backend: a fork carries the
+    /// parent's exact events and counters (segments shared by
+    /// refcount), then the two diverge independently.
+    #[test]
+    fn tiered_fork_shares_history_then_diverges(
+        hot_cap in 1usize..8,
+        raw in collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 1..64),
+    ) {
+        let events = stream(&raw);
+        let parent = Handle::tiered(Level::Full, hot_cap);
+        for ev in &events {
+            parent.emit(ev.clone());
+        }
+        let child = parent.fork();
+        prop_assert_eq!(child.snapshot(), parent.snapshot());
+        prop_assert_eq!(child.recorded(), parent.recorded());
+        parent.emit(event(0, 0x1, 0));
+        child.emit(event(6, 0x2, 1));
+        prop_assert_eq!(parent.recorded(), events.len() as u64 + 1);
+        prop_assert_eq!(child.recorded(), events.len() as u64 + 1);
+        let pv = parent.snapshot();
+        let cv = child.snapshot();
+        prop_assert_eq!(&pv[..events.len()], &cv[..events.len()]);
+        prop_assert_ne!(&pv[events.len()], &cv[events.len()]);
+    }
+}

@@ -28,11 +28,25 @@ pub struct BenchResult {
     pub throughput: f64,
 }
 
+/// One derived scalar recorded alongside the timings — a size, a
+/// ratio, a throughput computed from a measured median — so gates can
+/// check quantities the timer itself doesn't produce.
+#[derive(Debug, Clone)]
+pub struct BenchMetric {
+    /// Metric id, e.g. `"store/bytes_per_event"`.
+    pub name: String,
+    /// The value.
+    pub value: f64,
+    /// Unit label, e.g. `"bytes"` or `"events/s"`.
+    pub unit: String,
+}
+
 /// A named collection of benchmarks; writes `BENCH_<name>.json` on
 /// [`Suite::finish`].
 pub struct Suite {
     name: String,
     results: Vec<BenchResult>,
+    metrics: Vec<BenchMetric>,
     smoke: bool,
     warmup: Duration,
     target_sample: Duration,
@@ -46,6 +60,7 @@ impl Suite {
         Suite {
             name: name.to_string(),
             results: Vec::new(),
+            metrics: Vec::new(),
             smoke,
             warmup: if smoke {
                 Duration::ZERO
@@ -112,6 +127,22 @@ impl Suite {
         });
     }
 
+    /// Records a derived scalar metric, printed immediately and
+    /// emitted under `"metrics"` in the JSON report.
+    pub fn metric(&mut self, name: &str, value: f64, unit: &str) {
+        println!(
+            "metric {:<47} {:>14.2} {}",
+            format!("{}/{}", self.name, name),
+            value,
+            unit
+        );
+        self.metrics.push(BenchMetric {
+            name: name.to_string(),
+            value,
+            unit: unit.to_string(),
+        });
+    }
+
     /// Prints the summary and writes `BENCH_<suite>.json`. Returns the
     /// path written.
     pub fn finish(self) -> std::path::PathBuf {
@@ -151,6 +182,19 @@ impl Suite {
                 "},\n"
             });
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"metrics\": [\n");
+        for (i, m) in self.metrics.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": {}, ", json_str(&m.name)));
+            out.push_str(&format!("\"value\": {:.3}, ", m.value));
+            out.push_str(&format!("\"unit\": {}", json_str(&m.unit)));
+            out.push_str(if i + 1 == self.metrics.len() {
+                "}\n"
+            } else {
+                "},\n"
+            });
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -158,6 +202,11 @@ impl Suite {
     /// Results measured so far (mainly for tests).
     pub fn results(&self) -> &[BenchResult] {
         &self.results
+    }
+
+    /// Metrics recorded so far (mainly for tests).
+    pub fn metrics(&self) -> &[BenchMetric] {
+        &self.metrics
     }
 }
 
@@ -237,11 +286,17 @@ mod tests {
         suite.bench("noop", || {
             black_box(1 + 1);
         });
+        suite.metric("bytes_per_event", 12.5, "bytes");
         let json = suite.to_json();
         assert!(json.contains("\"suite\": \"jsonshape\""));
         assert!(json.contains("\"name\": \"noop\""));
         assert!(json.contains("\"median_ns\""));
         assert!(json.contains("\"throughput_per_sec\""));
+        assert!(json.contains("\"metrics\""));
+        assert!(json.contains("\"name\": \"bytes_per_event\""));
+        assert!(json.contains("\"value\": 12.500"));
+        assert!(json.contains("\"unit\": \"bytes\""));
+        assert_eq!(suite.metrics().len(), 1);
     }
 
     #[test]

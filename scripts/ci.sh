@@ -81,6 +81,15 @@ cargo run -q --release --offline -p ndroid-bench --bin exp_adversarial
 # stepper must reproduce the identical score matrix and transcript.
 cargo run -q --release --offline -p ndroid-bench --bin exp_adversarial -- --no-blocks
 
+stage "provenance store: fleet query transcript must match the golden"
+# Runs the gallery + adversarial corpus through the farm with the
+# tiered store sealing at capacity 4 and diffs the rendered cross-run
+# ProvQuery results (plus per-job segment/decode counters) against the
+# checked-in golden (crates/bench/src/bin/exp_prov_query_golden.txt).
+# Re-bless with `--bless` after an intentional corpus or wire-format
+# change.
+cargo run -q --release --offline -p ndroid-bench --bin exp_prov_query
+
 stage "resident service: drained report must match the offline merge"
 # Boots the AnalysisService at 4 workers, submits the pinned corpus
 # shard on the bulk lane and the gallery + adversarial corpus on the
@@ -112,6 +121,16 @@ for f in BENCH_cfbench.json BENCH_ablations.json BENCH_taint.json BENCH_oracle.j
   # "results" array and at least one named benchmark.
   if ! grep -q '"results"' "$BENCH_DIR/$f" || ! grep -q '"median_ns"' "$BENCH_DIR/$f"; then
     echo "error: $f is malformed (missing results)" >&2
+    exit 1
+  fi
+done
+# The provenance suite additionally records the tiered-store scalars
+# the compression gate is stated in terms of; the bench binary itself
+# asserts bytes_per_event stays at or under 40% of the in-memory
+# ProvEvent size.
+for key in bytes_per_event events_per_sec; do
+  if ! grep -q "\"name\": \"$key\"" "$BENCH_DIR/BENCH_provenance.json"; then
+    echo "error: BENCH_provenance.json is missing the $key metric" >&2
     exit 1
   fi
 done
